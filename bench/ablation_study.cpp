@@ -1,0 +1,142 @@
+// Ablation studies for the design choices the framework rests on:
+//
+//  A. stride coalescing — without it the TFFT2 union cannot fire and the
+//     descriptors keep their non-affine dimensions;
+//  B. halo tolerance in the balanced condition — without it every stencil
+//     edge degenerates to C (redistribution between every pair of phases);
+//  C. message aggregation — aggregated puts vs one put per element run;
+//  D. chunk selection — the frontier-aware ILP objective vs fixed CYCLIC(1)
+//     and BLOCK chunking on the swim stencils.
+#include <iomanip>
+
+#include "bench_util.hpp"
+#include "codes/suite.hpp"
+#include "codes/tfft2.hpp"
+#include "driver/pipeline.hpp"
+
+int main() {
+  using namespace ad;
+  using sym::Expr;
+  bench::Reporter rep("Ablation study — coalescing, halo tolerance, aggregation, chunking");
+
+  // ------------------------------------------------------------------ A
+  {
+    const ir::Program prog = codes::makeTFFT2();
+    const auto assumptions = prog.phase(2).assumptions(prog.symbols());
+    const sym::RangeAnalyzer ra(assumptions);
+
+    auto without = desc::buildPhaseDescriptor(prog, 2, "X");
+    const std::size_t mergedWithout = desc::unionTerms(without, ra);
+
+    auto with = desc::buildPhaseDescriptor(prog, 2, "X");
+    desc::coalesceStrides(with, ra);
+    const std::size_t mergedWith = desc::unionTerms(with, ra);
+
+    rep.note("A. stride coalescing (TFFT2 F3, array X):");
+    rep.note("   without: " + std::to_string(without.terms().size()) + " terms of " +
+             std::to_string(without.terms()[0].dims.size()) + " dims, " +
+             std::to_string(mergedWithout) + " union merges");
+    rep.note("   with:    " + std::to_string(with.terms().size()) + " terms of " +
+             std::to_string(with.terms()[0].dims.size()) + " dims, " +
+             std::to_string(mergedWith) + " union merges");
+    rep.note("   (the union itself is robust either way — the strided abut rule");
+    rep.note("    fires on the uncoalesced J dimension; coalescing removes the");
+    rep.note("    non-affine dimensions so every later comparison is on a 2-D form)");
+    rep.checkTrue("A: coalescing halves the descriptor dimensionality (4 -> 2)",
+                  with.terms()[0].dims.size() == 2 && without.terms()[0].dims.size() == 4);
+    rep.checkTrue("A: both paths converge to one unioned term",
+                  with.terms().size() == 1 && without.terms().size() == 1);
+  }
+
+  // ------------------------------------------------------------------ B
+  {
+    const ir::Program prog = codes::makeSwim();
+    const auto params = codes::bindParams(prog, {{"N", 64}});
+    const std::int64_t H = 8;
+    const auto lcg = lcg::buildLCG(prog, params, H);
+
+    std::size_t localWith = 0;
+    std::size_t localWithout = 0;
+    std::size_t edges = 0;
+    for (const auto& g : lcg.graphs()) {
+      for (const auto& e : g.edges) {
+        ++edges;
+        if (e.label == loc::EdgeLabel::kLocal) ++localWith;
+        if (!e.condition) continue;
+        auto strict = *e.condition;
+        strict.tolerance = Expr();  // ablate: exact region ends required
+        if (e.label == loc::EdgeLabel::kLocal && strict.holds(params, H)) ++localWithout;
+      }
+    }
+    rep.note("B. halo tolerance (swim, N = 64, H = 8): " + std::to_string(edges) + " edges");
+    rep.note("   L edges with tolerance:    " + std::to_string(localWith));
+    rep.note("   L edges exact-ends only:   " + std::to_string(localWithout));
+    rep.checkTrue("B: tolerance is what keeps the stencil chains local",
+                  localWith > localWithout);
+  }
+
+  // ------------------------------------------------------------------ C
+  {
+    const auto from = dsm::DataDistribution::blockCyclic(4);
+    const auto to = dsm::DataDistribution::blockCyclic(64);
+    const std::int64_t size = 1 << 14;
+    const std::int64_t H = 8;
+    const auto sched = comm::generateGlobal("X", size, from, to, H);
+    std::int64_t runs = 0;
+    for (const auto& m : sched.messages()) runs += static_cast<std::int64_t>(m.ranges.size());
+    dsm::MachineParams machine;
+    const double aggregated = sched.time(machine);
+    // Without aggregation each contiguous run pays its own startup.
+    const double unaggregated =
+        static_cast<double>(runs) * machine.putLatency +
+        static_cast<double>(sched.totalWords()) * machine.perWord;
+    std::ostringstream os;
+    os << "C. message aggregation (16K-element redistribution, H = 8):\n"
+       << "   messages " << sched.messageCount() << " (from " << runs
+       << " element runs); time " << std::fixed << std::setprecision(0) << aggregated
+       << " vs " << unaggregated << " unaggregated";
+    rep.note(os.str());
+    rep.checkTrue("C: aggregation reduces schedule cost", aggregated < unaggregated);
+    rep.checkTrue("C: at most H*(H-1) messages",
+                  sched.messageCount() <= static_cast<std::size_t>(H * (H - 1)));
+  }
+
+  // ------------------------------------------------------------------ D
+  {
+    const ir::Program prog = codes::makeSwim();
+    const auto params = codes::bindParams(prog, {{"N", 128}});
+    const std::int64_t H = 8;
+    driver::PipelineConfig config;
+    config.params = params;
+    config.processors = H;
+    config.simulateBaseline = false;
+    const auto ilpResult = driver::analyzeAndSimulate(prog, config);
+
+    dsm::MachineParams machine;
+    machine.processors = H;
+    auto cyclic1 = ilpResult.plan;
+    for (std::size_t k = 0; k < cyclic1.iteration.size(); ++k) {
+      cyclic1.iteration[k].chunk = 1;
+      for (auto& [arr, dists] : cyclic1.data) {
+        if (dists[k].kind == dsm::DataDistribution::Kind::kBlockCyclic) {
+          dists[k].block = std::max<std::int64_t>(1, dists[k].block /
+                                                         ilpResult.plan.iteration[k].chunk);
+        }
+      }
+    }
+    const auto r1 = dsm::simulate(prog, params, machine, cyclic1);
+
+    std::ostringstream os;
+    os << "D. chunk selection on swim (N = 128, H = 8):\n"
+       << "   ILP chunk " << ilpResult.plan.iteration[0].chunk
+       << ": T_par = " << std::fixed << std::setprecision(0)
+       << ilpResult.planned.parallelTime() << "\n"
+       << "   CYCLIC(1): T_par = " << r1.parallelTime()
+       << "  (more inter-processor boundaries -> more frontier traffic)";
+    rep.note(os.str());
+    rep.checkTrue("D: the frontier-aware objective beats CYCLIC(1)",
+                  ilpResult.planned.parallelTime() < r1.parallelTime());
+  }
+
+  return rep.finish();
+}

@@ -1,0 +1,55 @@
+// Shared reporting helpers for the paper-reproduction benches: each bench
+// prints "paper expects X / computed Y" rows and exits nonzero on mismatch,
+// so `for b in build/bench/*; do $b; done` doubles as a reproduction check.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ad::bench {
+
+class Reporter {
+ public:
+  explicit Reporter(std::string title) : title_(std::move(title)) {
+    std::cout << "==================================================================\n"
+              << title_ << "\n"
+              << "==================================================================\n";
+  }
+
+  template <typename A, typename B>
+  void check(const std::string& what, const A& paper, const B& computed) {
+    std::ostringstream pa;
+    std::ostringstream co;
+    pa << paper;
+    co << computed;
+    const bool ok = pa.str() == co.str();
+    std::cout << (ok ? "  [ok]    " : "  [FAIL]  ") << what << ": paper = " << pa.str()
+              << ", computed = " << co.str() << "\n";
+    failures_ += ok ? 0 : 1;
+    ++checks_;
+  }
+
+  void note(const std::string& text) { std::cout << "  " << text << "\n"; }
+
+  void checkTrue(const std::string& what, bool ok) {
+    std::cout << (ok ? "  [ok]    " : "  [FAIL]  ") << what << "\n";
+    failures_ += ok ? 0 : 1;
+    ++checks_;
+  }
+
+  /// Prints the summary; returns the process exit code.
+  int finish() const {
+    std::cout << "------------------------------------------------------------------\n"
+              << title_ << ": " << (checks_ - failures_) << "/" << checks_ << " checks match\n\n";
+    return failures_ == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+  }
+
+ private:
+  std::string title_;
+  int checks_ = 0;
+  int failures_ = 0;
+};
+
+}  // namespace ad::bench

@@ -1,0 +1,56 @@
+// Figure 2 reproduction: the ARDs of the two X references in TFFT2 phase F3.
+//
+// Paper (Fig. 2):
+//   A1 = ( (Q, (P-2)*2^-L + 1, P*2^-L, 2^(L-1)),
+//          (2P, J*2^(L-1), 2^(L-1), 1), (1,1,1,1), tau = 0 )
+//   A2 = same with tau = P/2.
+#include "bench_util.hpp"
+#include "codes/tfft2.hpp"
+#include "descriptors/ard.hpp"
+
+int main() {
+  using namespace ad;
+  using sym::Expr;
+  bench::Reporter rep("Figure 2 — ARDs of X in TFFT2 phase F3");
+
+  const ir::Program prog = codes::makeTFFT2();
+  const auto& st = prog.symbols();
+  const auto p = *st.lookup("p");
+  const auto q = *st.lookup("q");
+  const auto L = *st.lookup("L");
+  const auto J = *st.lookup("J");
+  const Expr P = Expr::pow2(Expr::symbol(p));
+  const Expr Q = Expr::pow2(Expr::symbol(q));
+  const auto c = [](std::int64_t v) { return Expr::constant(v); };
+
+  const auto ards = desc::buildARDs(prog, prog.phase(2), "X");
+  rep.check("number of distinct access functions", 2, ards.size() / 2);
+
+  const desc::ARD& a1 = ards[0];
+  rep.note("computed " + a1.str(st));
+  rep.check("alpha_1 (parallel I)", Q.str(st), a1.dims[0].alpha.str(st));
+  rep.check("alpha_2 (L)", ((P - c(2)) * Expr::pow2(-Expr::symbol(L)) + c(1)).str(st),
+            a1.dims[1].alpha.str(st));
+  rep.check("alpha_3 (J)", (P * Expr::pow2(-Expr::symbol(L))).str(st), a1.dims[2].alpha.str(st));
+  rep.check("alpha_4 (K)", Expr::pow2(Expr::symbol(L) - c(1)).str(st), a1.dims[3].alpha.str(st));
+  rep.check("delta_1", (c(2) * P).str(st), a1.dims[0].delta.str(st));
+  rep.check("delta_2", (Expr::symbol(J) * Expr::pow2(Expr::symbol(L) - c(1))).str(st),
+            a1.dims[1].delta.str(st));
+  rep.check("delta_3", Expr::pow2(Expr::symbol(L) - c(1)).str(st), a1.dims[2].delta.str(st));
+  rep.check("delta_4", 1, *a1.dims[3].delta.asInteger());
+  for (int i = 0; i < 4; ++i) {
+    rep.check("lambda_" + std::to_string(i + 1), 1, a1.dims[static_cast<std::size_t>(i)].lambda);
+  }
+  rep.check("tau_1", "0", a1.tau.str(st));
+
+  const desc::ARD& a2 = ards[2];
+  rep.note("computed " + a2.str(st));
+  rep.check("tau_2 = P/2", Expr::pow2(Expr::symbol(p) - c(1)).str(st), a2.tau.str(st));
+  bool sameVectors = true;
+  for (std::size_t i = 0; i < 4; ++i) {
+    sameVectors = sameVectors && a2.dims[i].alpha == a1.dims[i].alpha &&
+                  a2.dims[i].delta == a1.dims[i].delta && a2.dims[i].lambda == a1.dims[i].lambda;
+  }
+  rep.checkTrue("A2 shares A1's alpha/delta/lambda vectors", sameVectors);
+  return rep.finish();
+}

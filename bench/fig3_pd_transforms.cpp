@@ -1,0 +1,49 @@
+// Figure 3 reproduction: the phase-descriptor simplification chain for X in
+// TFFT2's F3.
+//
+// Paper: (a) raw PD with delta = (2P, J*2^(L-1), 2^(L-1), 1);
+//        (b) stride coalescing removes delta_3 (contiguity merge);
+//        (c) stride coalescing removes the non-affine delta_2 (subsumption),
+//            leaving delta = (2P, 1), alpha rows (Q, P/2), tau = (0, P/2);
+//        (d) access-descriptor union merges the two rows into alpha = (Q, P),
+//            tau = 0.
+#include "bench_util.hpp"
+#include "codes/tfft2.hpp"
+#include "descriptors/phase_descriptor.hpp"
+
+int main() {
+  using namespace ad;
+  using sym::Expr;
+  bench::Reporter rep("Figure 3 — PD simplification chain (stride coalescing + union)");
+
+  const ir::Program prog = codes::makeTFFT2();
+  const auto& st = prog.symbols();
+  const auto p = *st.lookup("p");
+  const Expr P = Expr::pow2(Expr::symbol(p));
+  const Expr Q = Expr::pow2(Expr::symbol(*st.lookup("q")));
+  const auto c = [](std::int64_t v) { return Expr::constant(v); };
+
+  auto pd = desc::buildPhaseDescriptor(prog, 2, "X");
+  rep.note("(a) raw PD:\n" + pd.str(st));
+  rep.check("(a) dims per term", 4, pd.terms()[0].dims.size());
+
+  const auto assumptions = prog.phase(2).assumptions(st);
+  const sym::RangeAnalyzer ra(assumptions);
+
+  const std::size_t removed = desc::coalesceStrides(pd, ra);
+  rep.note("(b)+(c) after stride coalescing:\n" + pd.str(st));
+  rep.check("coalescing removes two dims per term", 2, removed / pd.terms().size());
+  rep.check("(c) remaining delta = (2P, 1): parallel stride", (c(2) * P).str(st),
+            pd.terms()[0].dims[0].delta.str(st));
+  rep.check("(c) remaining sequential stride", 1, *pd.terms()[0].dims[1].delta.asInteger());
+  rep.check("(c) alpha row = (Q, P/2): Q", Q.str(st), pd.terms()[0].dims[0].alpha.str(st));
+  rep.check("(c) alpha row P/2", Expr::pow2(Expr::symbol(p) - c(1)).str(st),
+            pd.terms()[0].dims[1].alpha.str(st));
+
+  desc::unionTerms(pd, ra);
+  rep.note("(d) after access-descriptor union:\n" + pd.str(st));
+  rep.check("(d) single term", 1, pd.terms().size());
+  rep.check("(d) alpha = (Q, P): P", P.str(st), pd.terms()[0].dims[1].alpha.str(st));
+  rep.check("(d) tau", "0", pd.terms()[0].tau.str(st));
+  return rep.finish();
+}

@@ -1,0 +1,39 @@
+// Figure 4 reproduction: the iteration descriptors of X for parallel
+// iterations i = 0, 1, 2 of TFFT2's F3 with P = 4 (the paper draws shaded
+// regions [0..3], [8..11], [16..19] of the linearized X).
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "codes/tfft2.hpp"
+#include "descriptors/iteration_descriptor.hpp"
+#include "support/string_utils.hpp"
+
+int main() {
+  using namespace ad;
+  bench::Reporter rep("Figure 4 — iteration descriptors of X in F3 (P = 4, Q = 3 iterations)");
+
+  const ir::Program prog = codes::makeTFFT2();
+  const auto p = *prog.symbols().lookup("p");
+  auto pd = desc::buildPhaseDescriptor(prog, 2, "X");
+  const auto assumptions = prog.phase(2).assumptions(prog.symbols());
+  const sym::RangeAnalyzer ra(assumptions);
+  desc::coalesceStrides(pd, ra);
+  desc::unionTerms(pd, ra);
+  const auto id = desc::buildIterationDescriptor(pd);
+
+  const std::map<sym::SymbolId, std::int64_t> bind{{p, 2}};  // P = 4
+  for (std::int64_t i : {0, 1, 2}) {
+    const auto addrs = id.addressesAt(i, bind);
+    std::vector<std::int64_t> expected;
+    for (std::int64_t a = 8 * i; a < 8 * i + 4; ++a) expected.push_back(a);
+    rep.check("I(X," + std::to_string(i) + ") region", join(expected, ","), join(addrs, ","));
+    // Memory-map row like the paper's shading.
+    std::string row = "X: ";
+    for (std::int64_t a = 0; a < 24; ++a) {
+      const bool in = std::binary_search(addrs.begin(), addrs.end(), a);
+      row += in ? '#' : '.';
+    }
+    rep.note(row + "   (iteration " + std::to_string(i) + ")");
+  }
+  return rep.finish();
+}

@@ -1,0 +1,47 @@
+// Figure 6 reproduction: the Locality-Communication Graph of the eight-phase
+// TFFT2 section — node attributes and L/C/D edge labels for arrays X and Y.
+//
+// Paper: X attributes R,W,R/W,R,W,R/W,R,W with edges C,C,L,L,L,L,L;
+//        Y attributes W,R,P,W,R,P,W,R with edges L,D,D,L,D,D,L (the D edges
+//        are the dashed un-coupled pairs around the privatizing phases).
+// Note: the paper's figure prints the F4->F5 Y edge ambiguously; our
+// reconstruction (which reproduces every Table 2 constraint) yields L there,
+// consistent with the table's locality-constraint count.
+#include "bench_util.hpp"
+#include "codes/suite.hpp"
+#include "codes/tfft2.hpp"
+#include "lcg/lcg.hpp"
+
+int main() {
+  using namespace ad;
+  bench::Reporter rep("Figure 6 — LCG of the TFFT2 section (P = Q = 32, H = 8)");
+
+  const ir::Program prog = codes::makeTFFT2();
+  const auto params = codes::bindParams(prog, {{"P", 32}, {"Q", 32}});
+  const auto lcg = lcg::buildLCG(prog, params, 8);
+  rep.note("\n" + lcg.str());
+
+  const char* expectAttrX[] = {"R", "W", "R/W", "R", "W", "R/W", "R", "W"};
+  const char* expectAttrY[] = {"W", "R", "P", "W", "R", "P", "W", "R"};
+  const char* expectEdgeX[] = {"C", "C", "L", "L", "L", "L", "L"};
+  const char* expectEdgeY[] = {"L", "D", "D", "L", "D", "D", "L"};
+
+  const auto& gx = lcg.graph("X");
+  const auto& gy = lcg.graph("Y");
+  for (std::size_t k = 0; k < 8; ++k) {
+    rep.check("X attr at F" + std::to_string(k + 1), expectAttrX[k],
+              loc::attrName(gx.nodes[k].attr));
+    rep.check("Y attr at F" + std::to_string(k + 1), expectAttrY[k],
+              loc::attrName(gy.nodes[k].attr));
+  }
+  for (std::size_t e = 0; e < 7; ++e) {
+    const std::string tag = "F" + std::to_string(e + 1) + "->F" + std::to_string(e + 2);
+    rep.check("X edge " + tag, expectEdgeX[e], loc::edgeLabelName(gx.edges[e].label));
+    rep.check("Y edge " + tag, expectEdgeY[e], loc::edgeLabelName(gy.edges[e].label));
+  }
+  rep.check("communication points (C edges)", 2, lcg.communicationEdges());
+  rep.check("X chains", 3, gx.chains().size());
+  rep.check("Y chains", 5, gy.chains().size());
+  rep.note("Graphviz available via LCG::dot() (see examples/tfft2_pipeline).");
+  return rep.finish();
+}

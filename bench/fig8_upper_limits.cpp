@@ -1,0 +1,38 @@
+// Figure 8 reproduction: upper limits UL(I3(X,i)) = 3, 11, 19 for
+// i = 0, 1, 2 and the memory gap h = 4, with P = 4.
+#include "bench_util.hpp"
+#include "codes/tfft2.hpp"
+#include "descriptors/iteration_descriptor.hpp"
+
+int main() {
+  using namespace ad;
+  using sym::Expr;
+  bench::Reporter rep("Figure 8 — upper limits and memory gap of X in F3 (P = 4)");
+
+  const ir::Program prog = codes::makeTFFT2();
+  const auto p = *prog.symbols().lookup("p");
+  auto pd = desc::buildPhaseDescriptor(prog, 2, "X");
+  const auto assumptions = prog.phase(2).assumptions(prog.symbols());
+  const sym::RangeAnalyzer ra(assumptions);
+  desc::coalesceStrides(pd, ra);
+  desc::unionTerms(pd, ra);
+  const auto id = desc::buildIterationDescriptor(pd);
+
+  const std::map<sym::SymbolId, std::int64_t> bind{{p, 2}};  // P = 4
+  const std::int64_t expectUL[] = {3, 11, 19};
+  for (std::int64_t i : {0, 1, 2}) {
+    const auto ul = id.upperLimit(Expr::constant(i), ra);
+    rep.checkTrue("UL(I(X," + std::to_string(i) + ")) computable", ul.has_value());
+    if (ul) {
+      rep.check("UL(I(X," + std::to_string(i) + "))", expectUL[i],
+                ul->evaluate(bind).asInteger());
+    }
+  }
+  const auto h = id.memoryGap(ra);
+  rep.checkTrue("memory gap computable", h.has_value());
+  if (h) {
+    rep.check("h (symbolic, = P)", "P", h->str(prog.symbols()));
+    rep.check("h at P = 4", 4, h->evaluate(bind).asInteger());
+  }
+  return rep.finish();
+}

@@ -1,0 +1,68 @@
+// Figure 9 + Equations 4-6 reproduction: the balanced locality condition.
+//
+// Paper: between F2 and F3,  p2 + 2QP - P = 2P*p3  has the integer solution
+// p2 = P, p3 = Q, which violates the load-balance bounds (Eqs. 5-6) — so
+// communication is unavoidable (short of running sequentially). Between F3
+// and F4 the condition has ceil(Q/H) solutions; p3 = p4 = 1 is drawn in
+// Figure 9(a)(b): both phases then cover the same region per processor.
+#include "bench_util.hpp"
+#include "codes/suite.hpp"
+#include "codes/tfft2.hpp"
+#include "locality/analysis.hpp"
+
+int main() {
+  using namespace ad;
+  bench::Reporter rep("Figure 9 / Eqs. 4-6 — the balanced locality condition");
+
+  const ir::Program prog = codes::makeTFFT2();
+  const std::int64_t H = 8;
+  const std::int64_t Pv = 32;
+  const std::int64_t Qv = 32;
+  const auto params = codes::bindParams(prog, {{"P", Pv}, {"Q", Qv}});
+
+  const auto f2 = loc::analyzePhaseArray(prog, 1, "X");
+  const auto f3 = loc::analyzePhaseArray(prog, 2, "X");
+  const auto f4 = loc::analyzePhaseArray(prog, 3, "X");
+
+  // Equation 4.
+  const auto c23 = loc::makeBalancedCondition(f2, f3);
+  rep.checkTrue("F2-F3 condition formable", c23.has_value());
+  if (c23) {
+    rep.check("Eq. 4 form", "p2 + 2*P*Q - P = 2*P*p3",
+              c23->render(prog.symbols(), "p2", "p3"));
+    rep.checkTrue("Eq. 4 infeasible under load-balance bounds (-> C edge)",
+                  !c23->holds(params, H));
+    // Without the bounds, p2 = P, p3 = Q solves it (sequential execution) —
+    // derived symbolically, exactly as the paper's prose does.
+    const sym::Assumptions defaults(prog.symbols());
+    const sym::RangeAnalyzer ra(defaults);
+    const auto fam = c23->solveSymbolic(ra);
+    rep.checkTrue("symbolic family derivable", fam.has_value());
+    if (fam) {
+      rep.check("smallest integer solution: p2", "P", fam->pk0.str(prog.symbols()));
+      rep.check("smallest integer solution: p3", "Q", fam->pg0.str(prog.symbols()));
+    }
+    auto unbounded = sym::solveLinear2(1, 2 * Pv, -(2 * Qv * Pv - Pv), {1, 1 << 20}, {1, 1 << 20});
+    bool found = false;
+    for (auto [x, y] : unbounded.enumerate(1 << 21)) {
+      found = found || (x == Pv && y == Qv);
+    }
+    rep.checkTrue("numeric cross-check: the (P, Q) solution exists unbounded", found);
+  }
+
+  // F3-F4: ceil(Q/H) solutions; p3 = p4 = 1 among them.
+  const auto c34 = loc::makeBalancedCondition(f3, f4);
+  rep.checkTrue("F3-F4 condition formable", c34.has_value());
+  if (c34) {
+    const auto fam = c34->solve(params, H);
+    rep.checkTrue("F3-F4 balanced condition holds (-> L edge)", fam.feasible());
+    rep.check("number of integer solutions = ceil(Q/H)", (Qv + H - 1) / H, fam.count());
+    rep.check("smallest solution (p3, p4)", "(1, 1)",
+              "(" + std::to_string(fam.smallestX().first) + ", " +
+                  std::to_string(fam.smallestX().second) + ")");
+    bool allEqual = true;
+    for (auto [x, y] : fam.enumerate(1024)) allEqual = allEqual && x == y;
+    rep.checkTrue("every solution has p3 = p4 (same chunk in both phases)", allEqual);
+  }
+  return rep.finish();
+}

@@ -1,0 +1,143 @@
+// Performance micro-benchmarks of the analysis itself (google-benchmark):
+// how fast the compiler-side machinery runs — symbolic algebra, descriptor
+// construction and simplification, LCG building, ILP solving and the DSM
+// replay. The paper reports its GAMS solves took "a few seconds on an
+// R10000"; our whole pipeline runs in milliseconds.
+#include <benchmark/benchmark.h>
+
+#include "codes/suite.hpp"
+#include "codes/tfft2.hpp"
+#include "descriptors/iteration_descriptor.hpp"
+#include "driver/pipeline.hpp"
+#include "frontend/parser.hpp"
+
+namespace {
+
+using namespace ad;
+
+void BM_ExprNormalization(benchmark::State& state) {
+  sym::SymbolTable st;
+  const auto p = st.pow2Parameter("P", "p");
+  const auto i = st.index("I");
+  const auto l = st.index("L");
+  const auto j = st.index("J");
+  const auto k = st.index("K");
+  for (auto _ : state) {
+    using sym::Expr;
+    Expr phi = Expr::constant(2) * Expr::pow2(Expr::symbol(p)) * Expr::symbol(i) +
+               Expr::pow2(Expr::symbol(l) - Expr::constant(1)) * Expr::symbol(j) +
+               Expr::symbol(k);
+    benchmark::DoNotOptimize(phi.substitute(l, Expr::symbol(l) + Expr::constant(1)) - phi);
+  }
+}
+BENCHMARK(BM_ExprNormalization);
+
+void BM_ParseTFFT2PhaseF3(benchmark::State& state) {
+  const std::string source = R"(
+    pow2param P = 2^p
+    pow2param Q = 2^q
+    array X(2*P*Q)
+    phase F3 {
+      doall I = 0, Q - 1 {
+        do L = 1, p {
+          do J = 0, P * 2^(-L) - 1 {
+            do K = 0, 2^(L-1) - 1 {
+              update X(2*P*I + 2^(L-1)*J + K)
+              update X(2*P*I + 2^(L-1)*J + K + P/2)
+            }
+          }
+        }
+      }
+    }
+  )";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frontend::parseProgram(source));
+  }
+}
+BENCHMARK(BM_ParseTFFT2PhaseF3);
+
+void BM_BuildAndSimplifyPD(benchmark::State& state) {
+  const ir::Program prog = codes::makeTFFT2();
+  const auto assumptions = prog.phase(2).assumptions(prog.symbols());
+  for (auto _ : state) {
+    sym::RangeAnalyzer ra(assumptions);
+    auto pd = desc::buildPhaseDescriptor(prog, 2, "X");
+    desc::coalesceStrides(pd, ra);
+    desc::unionTerms(pd, ra);
+    benchmark::DoNotOptimize(pd);
+  }
+}
+BENCHMARK(BM_BuildAndSimplifyPD);
+
+void BM_AnalyzePhaseArray(benchmark::State& state) {
+  const ir::Program prog = codes::makeTFFT2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loc::analyzePhaseArray(prog, 2, "X"));
+  }
+}
+BENCHMARK(BM_AnalyzePhaseArray);
+
+void BM_BuildLCG(benchmark::State& state) {
+  const ir::Program prog = codes::makeTFFT2();
+  const auto params = codes::bindParams(prog, {{"P", 64}, {"Q", 64}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lcg::buildLCG(prog, params, 8));
+  }
+}
+BENCHMARK(BM_BuildLCG);
+
+void BM_SolveILP(benchmark::State& state) {
+  const ir::Program prog = codes::makeTFFT2();
+  const auto params = codes::bindParams(prog, {{"P", 64}, {"Q", 64}});
+  const auto lcgGraph = lcg::buildLCG(prog, params, 8);
+  const auto model = ilp::buildModel(lcgGraph, params, 8, ilp::CostParams{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.solve());
+  }
+}
+BENCHMARK(BM_SolveILP);
+
+void BM_FullPipeline(benchmark::State& state) {
+  // Analysis only (no simulation): program in, distributions out.
+  const ir::Program prog = codes::makeTFFT2();
+  driver::PipelineConfig config;
+  config.params = codes::bindParams(prog, {{"P", 32}, {"Q", 32}});
+  config.processors = 8;
+  config.simulateBaseline = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(driver::analyzeAndSimulate(prog, config));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedReplay(benchmark::State& state) {
+  // DSM replay throughput in simulated accesses per second.
+  const ir::Program prog = codes::makeSwim();
+  const auto params = codes::bindParams(prog, {{"N", static_cast<std::int64_t>(state.range(0))}});
+  dsm::MachineParams machine;
+  machine.processors = 8;
+  const auto plan = dsm::ExecutionPlan::naiveBlock(prog, params, machine.processors);
+  std::int64_t accesses = 0;
+  for (auto _ : state) {
+    const auto result = dsm::simulate(prog, params, machine, plan);
+    accesses = 0;
+    for (const auto& ph : result.phases) accesses += ph.localAccesses + ph.remoteAccesses;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * accesses);
+}
+BENCHMARK(BM_SimulatedReplay)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_RedistributionScheduling(benchmark::State& state) {
+  const auto from = dsm::DataDistribution::blockCyclic(16);
+  const auto to = dsm::DataDistribution::foldedBlockCyclic(4, state.range(0) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::generateGlobal("X", state.range(0), from, to, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RedistributionScheduling)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

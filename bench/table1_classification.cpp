@@ -1,0 +1,56 @@
+// Table 1 reproduction: the full edge-label classification — 15 attribute
+// pairs x (overlap?) x (balanced?) = 60 cells.
+#include <array>
+
+#include "bench_util.hpp"
+#include "locality/analysis.hpp"
+
+int main() {
+  using namespace ad;
+  using loc::Attr;
+  bench::Reporter rep("Table 1 — classification of LCG edge labels (60 cells)");
+
+  struct Row {
+    Attr k, g;
+    const char* name;
+    // columns: {overlap+balanced, overlap+nonbalanced, nonoverlap+balanced,
+    //           nonoverlap+nonbalanced}
+    std::array<const char*, 4> expect;
+  };
+  const Attr R = Attr::kRead;
+  const Attr W = Attr::kWrite;
+  const Attr RW = Attr::kReadWrite;
+  const Attr P = Attr::kPrivatized;
+  const Row rows[] = {
+      {R, R, "R - R", {"L", "C", "L", "C"}},
+      {R, W, "R - W", {"L", "C", "L", "C"}},
+      {R, RW, "R - R/W", {"L", "C", "L", "C"}},
+      {R, P, "R - P", {"D", "D", "D", "D"}},
+      {W, R, "W - R", {"C", "C", "L", "C"}},
+      {W, W, "W - W", {"C", "C", "L", "C"}},
+      {W, RW, "W - R/W", {"C", "C", "L", "C"}},
+      {W, P, "W - P", {"C", "C", "D", "D"}},
+      {RW, R, "R/W - R", {"L", "C", "L", "C"}},
+      {RW, W, "R/W - W", {"L", "C", "L", "C"}},
+      {RW, RW, "R/W - R/W", {"L", "C", "L", "C"}},
+      {RW, P, "R/W - P", {"D", "D", "D", "D"}},
+      {P, W, "P - W", {"D", "D", "D", "D"}},
+      {P, RW, "P - R/W", {"D", "D", "D", "D"}},
+      {P, P, "P - P", {"D", "D", "D", "D"}},
+  };
+
+  std::cout << "  pair         | ov+bal ov+nonbal  nov+bal nov+nonbal\n";
+  for (const auto& row : rows) {
+    const struct {
+      bool overlap, balanced;
+    } cols[4] = {{true, true}, {true, false}, {false, true}, {false, false}};
+    for (int cIdx = 0; cIdx < 4; ++cIdx) {
+      const auto label =
+          loc::classifyEdge(row.k, row.g, cols[cIdx].overlap, cols[cIdx].balanced);
+      rep.check(std::string(row.name) + (cols[cIdx].overlap ? " [overl" : " [non-overl") +
+                    (cols[cIdx].balanced ? ", bal]" : ", non-bal]"),
+                row.expect[static_cast<std::size_t>(cIdx)], loc::edgeLabelName(label));
+    }
+  }
+  return rep.finish();
+}

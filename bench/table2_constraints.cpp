@@ -1,0 +1,119 @@
+// Table 2 reproduction: the constraints of the TFFT2 integer program —
+// locality, load balance, storage, affinity — generated automatically from
+// the LCG, plus the Eq. 7 objective.
+//
+// Expected (paper, with P = Q = 32, H = 8):
+//   locality X: p31 = p41, P*p41 = Q*p51, p51 = p61, p61 = p71, 2Q*p71 = p81
+//   locality Y: p12 = Q*p22, P*p4 = Q*p5, 2Q*p7 = p8   (the paper prints the
+//               last two against p32/p62; affinity makes them equivalent)
+//   load balance: p11,p81 <= ceil(PQ/H); p31,p41 <= ceil(Q/H);
+//                 p21,p51,p61,p71 <= ceil(P/H)
+//                 (our F8 loop covers the PQ/2 conjugate pairs explicitly,
+//                 so its bound is ceil((PQ/2)/H))
+//   storage: p81*H <= Delta_d = PQ; p81*H <= Delta_r/2 in {PQ/2, PQ};
+//            p12*H <= PQ; p22*H <= PQ; same three rows for p82
+//   affinity: p_k1 = p_k2 for all eight phases.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "codes/suite.hpp"
+#include "codes/tfft2.hpp"
+#include "ilp/model.hpp"
+
+int main() {
+  using namespace ad;
+  bench::Reporter rep("Table 2 — ILP constraints for TFFT2 (P = Q = 32, H = 8)");
+
+  const ir::Program prog = codes::makeTFFT2();
+  const std::int64_t H = 8;
+  const std::int64_t P = 32;
+  const std::int64_t Q = 32;
+  const auto params = codes::bindParams(prog, {{"P", P}, {"Q", Q}});
+  const auto lcg = lcg::buildLCG(prog, params, H);
+  const auto model = ilp::buildModel(lcg, params, H, ilp::CostParams{});
+  rep.note("\n" + model.str());
+
+  // Locality constraints, as normalized (phaseK, phaseG, ratioK, ratioG).
+  struct Loc {
+    std::size_t k, g;
+    const char* array;
+    std::int64_t a, b;  // a*p_k = b*p_g (normalized)
+  };
+  const Loc expected[] = {
+      {2, 3, "X", 1, 1},        // p31 = p41
+      {3, 4, "X", P, Q},        // P*p41 = Q*p51
+      {4, 5, "X", 1, 1},        // p51 = p61
+      {5, 6, "X", 1, 1},        // p61 = p71
+      {6, 7, "X", 2 * Q, 1},    // 2Q*p71 = p81
+      {0, 1, "Y", 1, Q},        // p12 = Q*p22
+      {3, 4, "Y", P, Q},        // (paper: P*p32 = Q*p52)
+      {6, 7, "Y", 2 * Q, 1},    // (paper: 2Q*p62 = p82)
+  };
+  std::size_t locality = 0;
+  for (const auto& e : model.equalities()) {
+    const auto& vx = model.variables()[e.x];
+    const auto& vy = model.variables()[e.y];
+    if (vx.phase == vy.phase) continue;  // affinity
+    ++locality;
+    bool matched = false;
+    for (const auto& exp : expected) {
+      if (vx.phase != exp.k || vy.phase != exp.g || vx.array != exp.array) continue;
+      // normalize a*p_k = b*p_g + c: expect c = 0 and a/b == exp.a/exp.b.
+      matched = e.c == 0 && e.a * exp.b == e.b * exp.a;
+    }
+    rep.checkTrue("locality " + e.label + " [" + vx.array + "]", matched);
+  }
+  rep.check("number of locality constraints", 8, locality);
+
+  // Load-balance bounds.
+  const auto boundOf = [&](std::size_t phase, const char* arr) {
+    return model.variables()[model.varIndex(phase, arr)].hi;
+  };
+  rep.check("p11 <= ceil(PQ/H)", P * Q / H, boundOf(0, "X"));
+  rep.check("p21 <= ceil(P/H)", P / H, boundOf(1, "X"));
+  rep.check("p31 <= ceil(Q/H)", Q / H, boundOf(2, "X"));
+  rep.check("p41 <= ceil(Q/H)", Q / H, boundOf(3, "X"));
+  rep.check("p51 <= ceil(P/H)", P / H, boundOf(4, "X"));
+  rep.check("p61 <= ceil(P/H)", P / H, boundOf(5, "X"));
+  rep.check("p71 <= ceil(P/H)", P / H, boundOf(6, "X"));
+  rep.check("p81 <= ceil((PQ/2)/H) (half-spectrum loop)", P * Q / 2 / H, boundOf(7, "X"));
+
+  // Storage constraints.
+  std::vector<std::string> storage;
+  for (const auto& b : model.storageBounds()) storage.push_back(b.label);
+  std::sort(storage.begin(), storage.end());
+  rep.check("number of storage constraints", 8, storage.size());
+  const auto has = [&](const std::string& s) {
+    return std::any_of(storage.begin(), storage.end(),
+                       [&](const std::string& x) { return x.find(s) != std::string::npos; });
+  };
+  rep.checkTrue("p81*H <= Delta_d = PQ", has("p81*H <= Delta_d = " + std::to_string(P * Q)));
+  rep.checkTrue("p81*H <= Delta_r/2 = PQ/2",
+                has("p81*H <= Delta_r/2 = " + std::to_string(P * Q / 2)));
+  rep.checkTrue("p81*H <= Delta_r/2 = PQ", has("p81*H <= Delta_r/2 = " + std::to_string(P * Q)));
+  rep.checkTrue("p12*H <= Delta_d = PQ", has("p12*H <= Delta_d = " + std::to_string(P * Q)));
+  rep.checkTrue("p22*H <= Delta_d = PQ", has("p22*H <= Delta_d = " + std::to_string(P * Q)));
+  rep.checkTrue("p82*H <= Delta_d = PQ", has("p82*H <= Delta_d = " + std::to_string(P * Q)));
+
+  // Affinity constraints.
+  std::size_t affinity = 0;
+  for (const auto& e : model.equalities()) {
+    const auto& vx = model.variables()[e.x];
+    const auto& vy = model.variables()[e.y];
+    if (vx.phase == vy.phase && e.a == 1 && e.b == 1 && e.c == 0) ++affinity;
+  }
+  rep.check("affinity constraints (one per phase)", 8, affinity);
+
+  // Objective solves (Eq. 7): two communication edges contribute C^kg.
+  const auto sol = model.solve();
+  rep.checkTrue("model solves (GAMS substitute)", sol.feasible);
+  if (sol.feasible) {
+    rep.check("p31 = p41 = p51 = p61 = p71 in the solution", true,
+              sol.chunkOf(model, 2) == sol.chunkOf(model, 3) &&
+                  sol.chunkOf(model, 3) == sol.chunkOf(model, 4) &&
+                  sol.chunkOf(model, 4) == sol.chunkOf(model, 5) &&
+                  sol.chunkOf(model, 5) == sol.chunkOf(model, 6));
+    rep.check("p81 = 2Q * p71", 2 * Q * sol.chunkOf(model, 6), sol.chunkOf(model, 7));
+  }
+  return rep.finish();
+}

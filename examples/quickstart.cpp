@@ -1,0 +1,72 @@
+// Quickstart: analyze a two-phase program end to end.
+//
+//   build:  cmake --build build --target quickstart
+//   run:    ./build/examples/quickstart
+//
+// The program below writes array A by rows and then reads it back the same
+// way (phase L-coupled), followed by a transposed read (communication). The
+// example walks through every library layer: IR construction, descriptors,
+// the LCG, the ILP, and the simulated execution.
+#include <iostream>
+
+#include "descriptors/iteration_descriptor.hpp"
+#include "driver/pipeline.hpp"
+#include "ir/ir.hpp"
+
+int main() {
+  using namespace ad;
+  using sym::Expr;
+  const auto c = [](std::int64_t v) { return Expr::constant(v); };
+
+  // 1. Build the program: parameters, arrays, phases.
+  ir::Program prog;
+  const sym::SymbolId n = prog.symbols().parameter("N");
+  const Expr N = Expr::symbol(n);
+  prog.declareArray("A", N * N);
+
+  {
+    ir::PhaseBuilder b(prog, "write_rows");
+    b.doall("i", c(0), N - c(1));
+    b.loop("j", c(0), N - c(1));
+    b.write("A", N * b.idx("i") + b.idx("j"));
+    b.commit();
+  }
+  {
+    ir::PhaseBuilder b(prog, "read_rows");
+    b.doall("i", c(0), N - c(1));
+    b.loop("j", c(0), N - c(1));
+    b.read("A", N * b.idx("i") + b.idx("j"));
+    b.commit();
+  }
+  {
+    ir::PhaseBuilder b(prog, "read_columns");
+    b.doall("j", c(0), N - c(1));
+    b.loop("i", c(0), N - c(1));
+    b.read("A", N * b.idx("i") + b.idx("j"));
+    b.commit();
+  }
+  prog.validate();
+  std::cout << "=== program ===\n" << prog.str() << "\n";
+
+  // 2. Descriptors of A in the first phase.
+  auto pd = desc::buildPhaseDescriptor(prog, 0, "A");
+  const auto assumptions = prog.phase(0).assumptions(prog.symbols());
+  const sym::RangeAnalyzer ra(assumptions);
+  desc::coalesceStrides(pd, ra);
+  desc::unionTerms(pd, ra);
+  std::cout << "=== phase descriptor of A in write_rows ===\n"
+            << pd.str(prog.symbols()) << "\n";
+
+  // 3. Full pipeline: LCG -> ILP -> distributions -> simulation, N = 64 on
+  // 8 processors.
+  driver::PipelineConfig config;
+  config.params = {{n, 64}};
+  config.processors = 8;
+  const auto result = driver::analyzeAndSimulate(prog, config);
+  std::cout << result.report(prog);
+
+  std::cout << "\nThe row phases share one distribution (L edge); the column "
+               "phase forces a\nredistribution (C edge) — exactly what the report's "
+               "communication schedule shows.\n";
+  return 0;
+}

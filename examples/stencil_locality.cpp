@@ -1,0 +1,54 @@
+// Stencil locality: the swim shallow-water kernel.
+//
+//   run: ./build/examples/stencil_locality [N] [H]
+//
+// Shows how the analysis handles overlapping storage: ten arrays, one L
+// chain each, replicated row halos refreshed by frontier communications
+// instead of redistributions — and how the ILP trades load balance against
+// the number of inter-processor block boundaries when choosing the chunk.
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "codes/suite.hpp"
+#include "driver/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ad;
+  const std::int64_t N = argc > 1 ? std::atoll(argv[1]) : 128;
+  const std::int64_t H = argc > 2 ? std::atoll(argv[2]) : 8;
+
+  const ir::Program prog = codes::makeSwim();
+  driver::PipelineConfig config;
+  config.params = codes::bindParams(prog, {{"N", N}});
+  config.processors = H;
+  const auto result = driver::analyzeAndSimulate(prog, config);
+
+  std::cout << "=== LCG (every array one chain: no redistributions) ===\n"
+            << result.lcg.str() << "\n";
+
+  std::cout << "=== overlap analysis ===\n";
+  for (const auto& g : result.lcg.graphs()) {
+    for (const auto& node : g.nodes) {
+      if (!node.info.overlap.value_or(false)) continue;
+      std::cout << "  " << prog.phase(node.phase).name() << "/" << g.array
+                << ": overlapping storage";
+      if (node.info.overlapDistance) {
+        std::cout << ", Delta_s = " << node.info.overlapDistance->str(prog.symbols());
+      }
+      std::cout << "\n";
+    }
+  }
+
+  std::cout << "\n=== chosen chunks (note: larger chunks = fewer halo boundaries) ===\n";
+  for (std::size_t k = 0; k < prog.phases().size(); ++k) {
+    std::cout << "  " << prog.phase(k).name() << ": CYCLIC("
+              << result.plan.iteration[k].chunk << ")\n";
+  }
+
+  std::cout << "\n=== simulated execution ===\n" << result.planned.str();
+  std::cout << std::fixed << std::setprecision(3);
+  std::cout << "\nefficiency(LCG plan)  = " << result.plannedEfficiency() << "\n";
+  std::cout << "efficiency(naive)     = " << result.naiveEfficiency() << "\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "codes/suite.hpp"
+#include "frontend/parser.hpp"
+
+namespace ad::codes {
+
+// Alternating-direction hydrodynamics sweep in the style of SPEC's hydro2d:
+// a row-parallel sweep writing B from A, then a column-parallel sweep
+// writing A back from B, repeated (cyclic). The direction change makes every
+// inter-phase edge a C edge — the classic transpose redistribution.
+ir::Program makeHydro2d() {
+  return frontend::parseProgram(R"(
+    param N
+    array A(N*N)
+    array B(N*N)
+    cyclic
+
+    phase ROWSWEEP {
+      doall i = 0, N - 1 {
+        do j = 1, N - 1 {
+          read A(N*i + j)
+          read A(N*i + j - 1)
+          write B(N*i + j)
+        }
+      }
+      work 8.0   # flux/update computation per point
+    }
+
+    phase COLSWEEP {
+      doall j = 0, N - 1 {
+        do i = 1, N - 1 {
+          read B(N*i + j)
+          read B(N*i - N + j)
+          write A(N*i + j)
+        }
+      }
+      work 8.0   # flux/update computation per point
+    }
+  )");
+}
+
+}  // namespace ad::codes

@@ -1,0 +1,40 @@
+#include "codes/suite.hpp"
+
+#include "codes/tfft2.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ad::codes {
+
+ir::Bindings bindParams(const ir::Program& program,
+                        const std::map<std::string, std::int64_t>& byName) {
+  ir::Bindings out;
+  const auto& st = program.symbols();
+  for (const auto& [name, value] : byName) {
+    const auto id = st.lookup(name);
+    AD_REQUIRE(id.has_value(), "unknown parameter '" + name + "'");
+    if (st.kind(*id) == sym::SymbolKind::kLog2Parameter && st.pow2ParamName(*id) == name) {
+      AD_REQUIRE(value > 0 && (value & (value - 1)) == 0,
+                 "parameter '" + name + "' must be a power of two");
+      std::int64_t log = 0;
+      for (std::int64_t v = value; v > 1; v >>= 1) ++log;
+      out[*id] = log;
+    } else {
+      out[*id] = value;
+    }
+  }
+  return out;
+}
+
+const std::vector<CodeInfo>& benchmarkSuite() {
+  static const std::vector<CodeInfo> suite = {
+      {"tfft2", makeTFFT2, {{"P", 256}, {"Q", 256}}, {{"P", 16}, {"Q", 16}}},
+      {"swim", makeSwim, {{"N", 256}}, {{"N", 32}}},
+      {"tomcatv", makeTomcatv, {{"N", 256}}, {{"N", 32}}},
+      {"hydro2d", makeHydro2d, {{"N", 512}}, {{"N", 32}}},
+      {"mgrid", makeMgrid, {{"N", 16384}}, {{"N", 256}}},
+      {"trfd", makeTrfd, {{"N", 768}}, {{"N", 32}}},
+  };
+  return suite;
+}
+
+}  // namespace ad::codes

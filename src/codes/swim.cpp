@@ -1,0 +1,82 @@
+#include "codes/suite.hpp"
+#include "frontend/parser.hpp"
+
+namespace ad::codes {
+
+// Shallow-water kernel in the style of SPEC's swim: three row-parallel
+// stencil phases over ten N x N grids inside a time loop. All inter-phase
+// edges are local (one chain per array); the row halos are overlap storage
+// updated by frontier communications.
+ir::Program makeSwim() {
+  return frontend::parseProgram(R"(
+    param N
+    array U(N*N)
+    array V(N*N)
+    array Pr(N*N)
+    array CU(N*N)
+    array CV(N*N)
+    array Z(N*N)
+    array Ht(N*N)
+    array UNEW(N*N)
+    array VNEW(N*N)
+    array PNEW(N*N)
+    cyclic
+
+    phase CALC1 {
+      doall i = 1, N - 2 {
+        do j = 1, N - 2 {
+          read U(N*i + j)
+          read U(N*i + j + 1)
+          read U(N*i + N + j)
+          read V(N*i + j)
+          read V(N*i + N + j)
+          read Pr(N*i + j)
+          read Pr(N*i + j + 1)
+          read Pr(N*i + N + j)
+          write CU(N*i + j)
+          write CV(N*i + j)
+          write Z(N*i + j)
+          write Ht(N*i + j)
+        }
+      }
+      work 2.0
+    }
+
+    phase CALC2 {
+      doall i = 1, N - 2 {
+        do j = 1, N - 2 {
+          read CU(N*i + j)
+          read CU(N*i - N + j)
+          read CV(N*i + j)
+          read CV(N*i + j - 1)
+          read Z(N*i + j)
+          read Z(N*i + N + j)
+          read Ht(N*i + j)
+          read Ht(N*i + j + 1)
+          read U(N*i + j)
+          read V(N*i + j)
+          read Pr(N*i + j)
+          write UNEW(N*i + j)
+          write VNEW(N*i + j)
+          write PNEW(N*i + j)
+        }
+      }
+      work 2.0
+    }
+
+    phase CALC3 {
+      doall i = 1, N - 2 {
+        do j = 1, N - 2 {
+          read UNEW(N*i + j)
+          read VNEW(N*i + j)
+          read PNEW(N*i + j)
+          write U(N*i + j)
+          write V(N*i + j)
+          write Pr(N*i + j)
+        }
+      }
+    }
+  )");
+}
+
+}  // namespace ad::codes

@@ -1,0 +1,169 @@
+#include "codes/tfft2.hpp"
+
+namespace ad::codes {
+
+using ir::PhaseBuilder;
+using sym::Expr;
+
+ir::Program makeTFFT2() {
+  ir::Program prog;
+  auto& st = prog.symbols();
+  const sym::SymbolId p = st.pow2Parameter("P", "p");
+  const sym::SymbolId q = st.pow2Parameter("Q", "q");
+
+  const Expr P = Expr::pow2(Expr::symbol(p));
+  const Expr Q = Expr::pow2(Expr::symbol(q));
+  const Expr PQ = P * Q;
+  const auto c = [](std::int64_t v) { return Expr::constant(v); };
+
+  // The F8 conjugate-symmetry references reach address 2PQ.
+  prog.declareArray("X", c(2) * PQ + c(1));
+  prog.declareArray("Y", c(2) * PQ + c(1));
+
+  // F1 DO_100_RCFFTZ: unpack the interleaved real input of X into the two
+  // real/imaginary halves of Y. X is read as [2i, 2i+1]; Y written split.
+  {
+    PhaseBuilder b(prog, "DO_100_RCFFTZ");
+    b.doall("I", c(0), PQ - c(1));
+    const Expr I = b.idx("I");
+    b.read("X", c(2) * I);
+    b.read("X", c(2) * I + c(1));
+    b.write("Y", I);
+    b.write("Y", I + PQ);
+    b.commit();
+  }
+
+  // F2 TRANSA: transpose each PxQ half of Y into X (column-blocked write).
+  {
+    PhaseBuilder b(prog, "TRANSA");
+    b.doall("J2", c(0), P - c(1));
+    const Expr J = b.idx("J2");
+    b.loop("K2", c(0), Q - c(1));
+    const Expr K = b.idx("K2");
+    b.read("Y", Q * J + K);
+    b.read("Y", Q * J + K + PQ);
+    b.write("X", J + P * K);
+    b.write("X", J + P * K + PQ);
+    b.commit();
+  }
+
+  // F3 CFFTZWORK: the paper's Figure 1, verbatim. In-place butterflies over
+  // X (read and write both references); Y is per-iteration workspace.
+  {
+    PhaseBuilder b(prog, "CFFTZWORK");
+    b.doall("I", c(0), Q - c(1));
+    const Expr I = b.idx("I");
+    b.loop("L", c(1), Expr::symbol(p));
+    const Expr L = b.idx("L");
+    b.loop("J", c(0), P * Expr::pow2(-L) - c(1));
+    const Expr J = b.idx("J");
+    b.loop("K", c(0), Expr::pow2(L - c(1)) - c(1));
+    const Expr K = b.idx("K");
+    const Expr phi1 = c(2) * P * I + Expr::pow2(L - c(1)) * J + K;
+    b.update("X", phi1);
+    b.update("X", phi1 + Expr::divideExact(P, c(2)).value());
+    // Workspace semantics: each iteration produces its Y scratch before
+    // consuming it (write-then-read), which is what justifies privatization.
+    b.write("Y", phi1);
+    b.write("Y", phi1 + Expr::divideExact(P, c(2)).value());
+    b.read("Y", phi1);
+    b.read("Y", phi1 + Expr::divideExact(P, c(2)).value());
+    b.privatize("Y");
+    b.workPerAccess(3.0);  // butterfly flops per access
+    b.commit();
+  }
+
+  // F4 TRANSC: reads the 2P-blocks of X, writes them block-reversed into Y
+  // (exercises a negative sequential stride; the covered regions match a
+  // block transpose).
+  {
+    PhaseBuilder b(prog, "TRANSC");
+    b.doall("I", c(0), Q - c(1));
+    const Expr I = b.idx("I");
+    b.loop("J3", c(0), c(2) * P - c(1));
+    const Expr J = b.idx("J3");
+    b.read("X", c(2) * P * I + J);
+    b.write("Y", c(2) * P * I + (c(2) * P - c(1) - J));
+    b.commit();
+  }
+
+  // F5 CMULTF: twiddle multiply, Y -> X, in 2Q-blocks over the second axis.
+  {
+    PhaseBuilder b(prog, "CMULTF");
+    b.doall("K3", c(0), P - c(1));
+    const Expr K = b.idx("K3");
+    b.loop("J4", c(0), c(2) * Q - c(1));
+    const Expr J = b.idx("J4");
+    b.read("Y", c(2) * Q * K + J);
+    b.write("X", c(2) * Q * K + J);
+    b.workPerAccess(2.0);  // complex multiply
+    b.commit();
+  }
+
+  // F6 CFFTZWORK: the second FFT pass, F3 with the P and Q axes swapped.
+  {
+    PhaseBuilder b(prog, "CFFTZWORK2");
+    b.doall("K3", c(0), P - c(1));
+    const Expr K = b.idx("K3");
+    b.loop("L2", c(1), Expr::symbol(q));
+    const Expr L = b.idx("L2");
+    b.loop("J5", c(0), Q * Expr::pow2(-L) - c(1));
+    const Expr J = b.idx("J5");
+    b.loop("M", c(0), Expr::pow2(L - c(1)) - c(1));
+    const Expr M = b.idx("M");
+    const Expr phi = c(2) * Q * K + Expr::pow2(L - c(1)) * J + M;
+    b.update("X", phi);
+    b.update("X", phi + Expr::divideExact(Q, c(2)).value());
+    b.write("Y", phi);
+    b.write("Y", phi + Expr::divideExact(Q, c(2)).value());
+    b.read("Y", phi);
+    b.read("Y", phi + Expr::divideExact(Q, c(2)).value());
+    b.privatize("Y");
+    b.workPerAccess(3.0);  // butterfly flops per access
+    b.commit();
+  }
+
+  // F7 TRANSB: reads the 2Q-blocks of X, writes them block-reversed into Y.
+  {
+    PhaseBuilder b(prog, "TRANSB");
+    b.doall("K3", c(0), P - c(1));
+    const Expr K = b.idx("K3");
+    b.loop("J6", c(0), c(2) * Q - c(1));
+    const Expr J = b.idx("J6");
+    b.read("X", c(2) * Q * K + J);
+    b.write("Y", c(2) * Q * K + (c(2) * Q - c(1) - J));
+    b.commit();
+  }
+
+  // F8 DO_110_RCFFTZ: conjugate-symmetry post-processing. Reads Y at i,
+  // i + PQ and at the mirrored positions PQ - i, 2PQ - i; writes X at the
+  // same four positions. These give the shifted distance Delta_d = PQ and
+  // the reverse distances Delta_r = PQ and 2PQ of Table 2. As in real
+  // conjugate-symmetry loops, the parallel loop covers half the spectrum
+  // (each iteration handles one mirror pair).
+  {
+    PhaseBuilder b(prog, "DO_110_RCFFTZ");
+    b.doall("I", c(0), Expr::divideExact(PQ, c(2)).value() - c(1));
+    const Expr I = b.idx("I");
+    for (const char* arr : {"Y", "X"}) {
+      const bool isX = arr[0] == 'X';
+      const auto add = [&](const Expr& s) {
+        if (isX) {
+          b.write(arr, s);
+        } else {
+          b.read(arr, s);
+        }
+      };
+      add(I);
+      add(I + PQ);
+      add(PQ - I);
+      add(c(2) * PQ - I);
+    }
+    b.commit();
+  }
+
+  prog.validate();
+  return prog;
+}
+
+}  // namespace ad::codes

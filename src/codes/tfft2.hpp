@@ -1,0 +1,23 @@
+// The TFFT2 fragment of the paper (Figures 1, 4, 6, 8, 9; Tables 1-2).
+//
+// The paper lists only phase F3's loop nest explicitly (its Figure 1); the
+// other seven phases are reconstructed here so that every derived quantity
+// the paper *does* print matches:
+//   - F3's ARDs, PD simplification chain, IDs, upper limits and memory gap
+//     (Figures 2, 3, 4, 8),
+//   - the balanced-locality equations for F2-F3 (Eq. 4) and F3-F4,
+//   - the LCG attributes and L/C/D edge labels of Figure 6,
+//   - all locality / load-balance / storage constraints of Table 2
+//     (Delta_d = PQ, Delta_r in {PQ, 2PQ} at F8, Delta_d at F1/F2 for Y).
+// The reconstruction choices are documented inline and in EXPERIMENTS.md.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace ad::codes {
+
+/// Builds the eight-phase TFFT2 section. Arrays X, Y of size 2PQ+1;
+/// parameters P = 2^p and Q = 2^q.
+[[nodiscard]] ir::Program makeTFFT2();
+
+}  // namespace ad::codes

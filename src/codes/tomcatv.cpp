@@ -1,0 +1,76 @@
+#include "codes/suite.hpp"
+
+namespace ad::codes {
+
+using ir::PhaseBuilder;
+using sym::Expr;
+
+// Mesh-generation kernel in the style of SPEC's tomcatv, built with the
+// programmatic API: a 9-point residual stencil over the mesh coordinates
+// (X, Y), a row-local tridiagonal-style smoothing of the residuals, and the
+// coordinate update. All three phases are row-parallel: one L chain per
+// array, with overlap storage on X and Y.
+ir::Program makeTomcatv() {
+  ir::Program prog;
+  const sym::SymbolId n = prog.symbols().parameter("N");
+  const Expr N = Expr::symbol(n);
+  const auto c = [](std::int64_t v) { return Expr::constant(v); };
+
+  for (const char* a : {"X", "Y", "RX", "RY"}) prog.declareArray(a, N * N);
+
+  // RESID: residuals from the 9-point neighbourhood.
+  {
+    PhaseBuilder b(prog, "RESID");
+    b.doall("i", c(1), N - c(2));
+    b.loop("j", c(1), N - c(2));
+    const Expr i = b.idx("i");
+    const Expr j = b.idx("j");
+    const Expr center = N * i + j;
+    for (const char* a : {"X", "Y"}) {
+      b.read(a, center);
+      b.read(a, center - c(1));
+      b.read(a, center + c(1));
+      b.read(a, center - N);
+      b.read(a, center + N);
+      b.read(a, center - N - c(1));
+      b.read(a, center + N + c(1));
+    }
+    b.write("RX", center);
+    b.write("RY", center);
+    b.workPerAccess(2.0);
+    b.commit();
+  }
+
+  // SOLVE: row-local forward/backward sweeps over the residuals.
+  {
+    PhaseBuilder b(prog, "SOLVE");
+    b.doall("i", c(1), N - c(2));
+    b.loop("j", c(1), N - c(2));
+    const Expr center = N * b.idx("i") + b.idx("j");
+    b.update("RX", center);
+    b.update("RY", center);
+    b.read("RX", center - c(1));
+    b.read("RY", center - c(1));
+    b.workPerAccess(3.0);
+    b.commit();
+  }
+
+  // UPDATE: add the smoothed residuals into the mesh.
+  {
+    PhaseBuilder b(prog, "UPDATE");
+    b.doall("i", c(1), N - c(2));
+    b.loop("j", c(1), N - c(2));
+    const Expr center = N * b.idx("i") + b.idx("j");
+    b.read("RX", center);
+    b.read("RY", center);
+    b.update("X", center);
+    b.update("Y", center);
+    b.commit();
+  }
+
+  prog.setCyclic(true);
+  prog.validate();
+  return prog;
+}
+
+}  // namespace ad::codes

@@ -1,0 +1,51 @@
+#include "codes/suite.hpp"
+
+namespace ad::codes {
+
+using ir::PhaseBuilder;
+using sym::Expr;
+
+// Two-electron integral transformation kernel in the style of Perfect Club's
+// TRFD: triangular loop nests over a packed matrix. The inner bound depends
+// on the parallel index, so the per-iteration descriptors are conservative
+// supersets — this code exercises the non-rectangular paths of the analysis
+// (the paper's claim that loop limits need not be affine-rectangular).
+ir::Program makeTrfd() {
+  ir::Program prog;
+  const sym::SymbolId n = prog.symbols().parameter("N");
+  const Expr N = Expr::symbol(n);
+  const auto c = [](std::int64_t v) { return Expr::constant(v); };
+
+  prog.declareArray("XIJ", N * N);
+  prog.declareArray("V", N * N);
+
+  // TRANSF1: triangular update of the row-major packed matrix; iteration i
+  // touches XIJ[i*N .. i*N + i].
+  {
+    PhaseBuilder b(prog, "TRANSF1");
+    b.doall("i", c(0), N - c(1));
+    b.loop("j", c(0), b.idx("i"));
+    const Expr sub = N * b.idx("i") + b.idx("j");
+    b.read("V", sub);
+    b.update("XIJ", sub);
+    b.workPerAccess(8.0);  // O(N) transform work folded per element
+    b.commit();
+  }
+
+  // TRANSF2: second triangular pass with the mirrored access XIJ[j*N + i]
+  // (reads the transposed triangle written by TRANSF1: a C edge).
+  {
+    PhaseBuilder b(prog, "TRANSF2");
+    b.doall("i", c(0), N - c(1));
+    b.loop("j", c(0), b.idx("i"));
+    b.read("XIJ", N * b.idx("j") + b.idx("i"));
+    b.write("V", N * b.idx("i") + b.idx("j"));
+    b.workPerAccess(8.0);  // O(N) transform work folded per element
+    b.commit();
+  }
+
+  prog.validate();
+  return prog;
+}
+
+}  // namespace ad::codes

@@ -1,0 +1,86 @@
+// Communication generation (Section 4.3b).
+//
+// For every C edge of the LCG the compiler must emit communication before
+// the drain phase. Two patterns (the paper's terminology):
+//   - Global communications: a redistribution — every element whose owner
+//     changes between the source and drain distributions moves with a
+//     single-sided put;
+//   - Frontier communications: an update of the replicated overlap
+//     sub-regions (width Delta_s) at the boundaries between neighbouring
+//     processors' chunks.
+// Message aggregation packs all element ranges with the same (source,
+// destination) pair into one message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsm/machine.hpp"
+
+namespace ad::comm {
+
+/// A contiguous run of array elements travelling between two processors.
+struct Range {
+  std::int64_t begin = 0;  ///< first element
+  std::int64_t end = 0;    ///< one past last
+
+  [[nodiscard]] std::int64_t words() const noexcept { return end - begin; }
+};
+
+/// One aggregated put: everything processor `src` sends to `dst`.
+struct Message {
+  std::int64_t src = 0;
+  std::int64_t dst = 0;
+  std::vector<Range> ranges;
+
+  [[nodiscard]] std::int64_t words() const;
+};
+
+enum class Pattern { kGlobal, kFrontier };
+
+class CommSchedule {
+ public:
+  CommSchedule(std::string array, Pattern pattern, std::vector<Message> messages)
+      : array_(std::move(array)), pattern_(pattern), messages_(std::move(messages)) {}
+
+  [[nodiscard]] const std::string& array() const noexcept { return array_; }
+  [[nodiscard]] Pattern pattern() const noexcept { return pattern_; }
+  [[nodiscard]] const std::vector<Message>& messages() const noexcept { return messages_; }
+  [[nodiscard]] std::size_t messageCount() const noexcept { return messages_.size(); }
+  [[nodiscard]] std::int64_t totalWords() const;
+
+  /// Estimated execution time (aggregated puts in parallel across sources).
+  [[nodiscard]] double time(const dsm::MachineParams& machine) const;
+
+  /// SHMEM-style pseudo-code of the schedule ("PE s: put(X[b..e) -> PE d)").
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string array_;
+  Pattern pattern_;
+  std::vector<Message> messages_;
+};
+
+/// Global redistribution of `size` elements from distribution `from` to `to`.
+/// Both must be BLOCK-CYCLIC.
+[[nodiscard]] CommSchedule generateGlobal(const std::string& array, std::int64_t size,
+                                          const dsm::DataDistribution& from,
+                                          const dsm::DataDistribution& to,
+                                          std::int64_t processors);
+
+/// Frontier update: each block's owner sends the `overlap`-wide region at the
+/// start of the *next* block to that block's owner (the replicated overlap
+/// sub-region of Theorem 1c after a write).
+[[nodiscard]] CommSchedule generateFrontier(const std::string& array, std::int64_t size,
+                                            const dsm::DataDistribution& dist,
+                                            std::int64_t overlap, std::int64_t processors);
+
+/// Verifies that `schedule` moves exactly the elements whose owner changes
+/// between `from` and `to`, each exactly once, with correct endpoints.
+[[nodiscard]] bool verifiesRedistribution(const CommSchedule& schedule, std::int64_t size,
+                                          const dsm::DataDistribution& from,
+                                          const dsm::DataDistribution& to,
+                                          std::int64_t processors);
+
+}  // namespace ad::comm

@@ -1,0 +1,138 @@
+#include "descriptors/ard.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/string_utils.hpp"
+
+namespace ad::desc {
+
+using sym::Expr;
+
+namespace {
+
+/// Signed stride of phi for loop index `id`: phi[i+1] - phi[i].
+Expr signedStride(const Expr& phi, sym::SymbolId id) {
+  return phi.substitute(id, Expr::symbol(id) + Expr::constant(1)) - phi;
+}
+
+}  // namespace
+
+ARD buildARD(const ir::Program& program, const ir::Phase& phase, const ir::ArrayRef& ref) {
+  const sym::SymbolTable& table = program.symbols();
+  const sym::Assumptions assumptions = phase.assumptions(table);
+  const sym::RangeAnalyzer ra(assumptions);
+
+  ARD ard;
+  ard.array = ref.array;
+  ard.kind = ref.kind;
+  ard.subscript = ref.subscript;
+
+  const Expr& phi = ref.subscript;
+
+  for (const auto& loop : phase.loops()) {
+    Dim d;
+    d.parallel = loop.parallel;
+    const Expr stride = signedStride(phi, loop.index);
+    if (stride.isZero()) {
+      d.delta = Expr();
+      d.alpha = Expr::constant(1);
+      d.lambda = 1;
+      ard.dims.push_back(std::move(d));
+      continue;
+    }
+    if (ra.proveNonNegative(stride)) {
+      d.lambda = 1;
+      d.delta = stride;
+    } else if (ra.proveNonPositive(stride)) {
+      d.lambda = -1;
+      d.delta = -stride;
+    } else {
+      throw AnalysisError("ARD: stride sign of '" + ref.array + "' w.r.t. index '" +
+                          table.name(loop.index) + "' is indeterminate: " + stride.str(table));
+    }
+    const Expr span = phi.substitute(loop.index, loop.upper) -
+                      phi.substitute(loop.index, loop.lower);
+    const auto ratio = Expr::divideExact(span, stride);
+    if (!ratio) {
+      throw AnalysisError("ARD: span of '" + ref.array + "' not divisible by its stride for '" +
+                          table.name(loop.index) + "'");
+    }
+    d.alpha = *ratio + Expr::constant(1);
+    ard.dims.push_back(std::move(d));
+  }
+
+  // Separate the parallel contribution: phi = deltaP * i_par + phiSeq.
+  Expr phiSeq = phi;
+  if (phase.hasParallelLoop()) {
+    const ir::Loop& par = phase.parallelLoop();
+    const auto dec = phi.linearDecompose(par.index);
+    if (!dec) {
+      throw AnalysisError("ARD: parallel index occurs non-linearly in subscript of '" +
+                          ref.array + "'");
+    }
+    ard.deltaP = dec->first;
+    for (sym::SymbolId s : ard.deltaP.freeSymbols()) {
+      if (table.kind(s) == sym::SymbolKind::kIndex) {
+        throw AnalysisError("ARD: parallel stride of '" + ref.array +
+                            "' depends on a sequential index");
+      }
+    }
+    phiSeq = dec->second;
+    ard.hasParallel = !ard.deltaP.isZero();
+  }
+
+  const auto lo = ra.lowerBoundExpr(phiSeq);
+  const auto hi = ra.upperBoundExpr(phiSeq);
+  if (!lo || !hi) {
+    throw AnalysisError("ARD: cannot bound the sequential sub-region of '" + ref.array + "'");
+  }
+  ard.seqMin = *lo;
+  ard.seqMax = *hi;
+
+  // Base offset tau: minimum address over the whole nest. The parallel term
+  // deltaP*i_par is minimized at the lower (upper) bound for positive
+  // (negative) parallel stride.
+  if (ard.hasParallel) {
+    const ir::Loop& par = phase.parallelLoop();
+    const Expr atLo = ard.deltaP * par.lower;
+    const Expr atHi = ard.deltaP * par.upper;
+    if (ra.proveLE(atLo, atHi)) {
+      ard.tau = atLo + ard.seqMin;
+    } else if (ra.proveLE(atHi, atLo)) {
+      ard.tau = atHi + ard.seqMin;
+    } else {
+      throw AnalysisError("ARD: cannot order parallel-term extremes of '" + ref.array + "'");
+    }
+  } else {
+    ard.tau = ard.seqMin;
+  }
+  return ard;
+}
+
+std::vector<ARD> buildARDs(const ir::Program& program, const ir::Phase& phase,
+                           const std::string& array) {
+  std::vector<ARD> out;
+  for (const auto& ref : phase.refs()) {
+    if (ref.array == array) out.push_back(buildARD(program, phase, ref));
+  }
+  return out;
+}
+
+std::string ARD::str(const sym::SymbolTable& table) const {
+  std::ostringstream os;
+  std::vector<std::string> alphas;
+  std::vector<std::string> deltas;
+  std::vector<std::string> lambdas;
+  for (const auto& d : dims) {
+    alphas.push_back(d.alpha.str(table));
+    deltas.push_back(d.delta.str(table));
+    lambdas.push_back(d.lambda > 0 ? "1" : "-1");
+  }
+  os << "A(" << array << ") = ( alpha=(" << join(alphas, ", ") << "), delta=("
+     << join(deltas, ", ") << "), lambda=(" << join(lambdas, ", ") << "), tau="
+     << tau.str(table) << " )";
+  return os.str();
+}
+
+}  // namespace ad::desc

@@ -1,0 +1,64 @@
+// Array Reference Descriptors (Section 2 of the paper).
+//
+// The ARD of one reference X(phi) in a phase is the LMAD-style tuple
+// (alpha, delta, lambda, tau): per-loop trip counts, stride magnitudes,
+// stride signs, and the base offset. We follow the paper's Figure 2
+// convention that alpha is span/stride + 1 (the number of distinct values),
+// and additionally record the decomposition phi = deltaP * i_par + phi_seq
+// with symbolic bounds of phi_seq, which Section 3's iteration descriptors
+// and Section 4's locality conditions consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "symbolic/expr.hpp"
+#include "symbolic/ranges.hpp"
+
+namespace ad::desc {
+
+/// One dimension (loop level) of a descriptor.
+struct Dim {
+  sym::Expr delta;        ///< stride magnitude (|phi(i+1) - phi(i)|), may be symbolic
+  sym::Expr alpha;        ///< trip count: span/stride + 1
+  int lambda = 1;         ///< stride sign: +1 or -1
+  bool parallel = false;  ///< dimension of the phase's DOALL loop
+
+  [[nodiscard]] bool operator==(const Dim& o) const {
+    return delta == o.delta && alpha == o.alpha && lambda == o.lambda && parallel == o.parallel;
+  }
+};
+
+/// Access Reference Descriptor of a single reference.
+struct ARD {
+  std::string array;
+  ir::AccessKind kind = ir::AccessKind::kRead;
+  std::vector<Dim> dims;  ///< one per loop of the nest, outermost first
+  sym::Expr tau;          ///< base offset: minimum address of the region
+
+  // Separation with respect to the parallel loop: phi = deltaP*i_par + phiSeq.
+  bool hasParallel = false;
+  sym::Expr deltaP;   ///< signed parallel stride (zero when absent)
+  sym::Expr seqMin;   ///< lower bound of phiSeq over the sequential subnest
+  sym::Expr seqMax;   ///< upper bound of phiSeq over the sequential subnest
+  sym::Expr subscript;  ///< the original phi (kept for exact re-analysis)
+
+  /// seqMax - seqMin: address span of one parallel iteration's sub-region.
+  [[nodiscard]] sym::Expr seqSpan() const { return seqMax - seqMin; }
+
+  [[nodiscard]] std::string str(const sym::SymbolTable& table) const;
+};
+
+/// Computes the ARD of `ref` inside `phase`. Throws AnalysisError when the
+/// reference is outside the representable class (sign-varying strides,
+/// non-exact span/stride division, parallel index occurring non-linearly or
+/// inside another index's coefficient).
+[[nodiscard]] ARD buildARD(const ir::Program& program, const ir::Phase& phase,
+                           const ir::ArrayRef& ref);
+
+/// ARDs of every reference to `array` in `phase` (textual order).
+[[nodiscard]] std::vector<ARD> buildARDs(const ir::Program& program, const ir::Phase& phase,
+                                         const std::string& array);
+
+}  // namespace ad::desc

@@ -1,0 +1,280 @@
+#include "descriptors/iteration_descriptor.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/diagnostics.hpp"
+
+namespace ad::desc {
+
+using sym::Expr;
+
+IterationDescriptor buildIterationDescriptor(const PhaseDescriptor& pd) {
+  std::vector<IDTerm> terms;
+  for (const auto& t : pd.terms()) {
+    IDTerm id;
+    for (const auto& d : t.dims) {
+      if (!d.parallel) id.seqDims.push_back(d);
+    }
+    id.deltaP = t.hasParallel ? t.deltaP : Expr();
+    // The base of iteration i is seqMin + i*deltaP (seqMin is the absolute
+    // lower bound of the sequential part of the subscript).
+    id.tau0 = t.seqMin;
+    id.seqSpan = t.seqSpan();
+    terms.push_back(std::move(id));
+  }
+  return IterationDescriptor(pd.array(), pd.phaseIndex(), std::move(terms));
+}
+
+bool IterationDescriptor::uniformParallelStride() const {
+  for (std::size_t i = 1; i < terms_.size(); ++i) {
+    if (!(terms_[i].deltaP == terms_[0].deltaP)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Provable |deltaP|: the expression and its sign. nullopt when the sign of
+/// deltaP cannot be established.
+std::optional<Expr> absStride(const Expr& deltaP, const sym::RangeAnalyzer& ra) {
+  if (ra.proveNonNegative(deltaP)) return deltaP;
+  if (ra.proveNonPositive(deltaP)) return -deltaP;
+  return std::nullopt;
+}
+
+/// max over terms of seqMax = tau0 + seqSpan; nullopt if incomparable.
+std::optional<Expr> maxTop(const std::vector<IDTerm>& terms, const sym::RangeAnalyzer& ra) {
+  AD_REQUIRE(!terms.empty(), "empty iteration descriptor");
+  Expr best = terms[0].tau0 + terms[0].seqSpan;
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    const Expr top = terms[i].tau0 + terms[i].seqSpan;
+    if (ra.proveLE(best, top)) {
+      best = top;
+    } else if (!ra.proveLE(top, best)) {
+      return std::nullopt;
+    }
+  }
+  return best;
+}
+
+std::optional<Expr> minBase(const std::vector<IDTerm>& terms, const sym::RangeAnalyzer& ra) {
+  AD_REQUIRE(!terms.empty(), "empty iteration descriptor");
+  Expr best = terms[0].tau0;
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    if (ra.proveLE(terms[i].tau0, best)) {
+      best = terms[i].tau0;
+    } else if (!ra.proveLE(best, terms[i].tau0)) {
+      return std::nullopt;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<Expr> IterationDescriptor::upperLimit(const Expr& i,
+                                                    const sym::RangeAnalyzer& ra) const {
+  if (terms_.empty() || !uniformParallelStride()) return std::nullopt;
+  const auto top = maxTop(terms_, ra);
+  if (!top) return std::nullopt;
+  return *top + i * terms_[0].deltaP;
+}
+
+std::optional<Expr> IterationDescriptor::upperLimitChunk(const Expr& i, const Expr& p,
+                                                         const sym::RangeAnalyzer& ra) const {
+  if (terms_.empty() || !uniformParallelStride()) return std::nullopt;
+  const Expr& a = terms_[0].deltaP;
+  if (ra.proveNonNegative(a)) {
+    // Farthest position reached at the last iteration of the chunk.
+    return upperLimit(i + p - Expr::constant(1), ra);
+  }
+  if (ra.proveNonPositive(a)) return upperLimit(i, ra);
+  return std::nullopt;
+}
+
+std::optional<Expr> IterationDescriptor::memoryGap(const sym::RangeAnalyzer& ra) const {
+  if (terms_.empty() || !uniformParallelStride()) return std::nullopt;
+  const auto a = absStride(terms_[0].deltaP, ra);
+  if (!a) return std::nullopt;
+  const auto top = maxTop(terms_, ra);
+  const auto base = minBase(terms_, ra);
+  if (!top || !base) return std::nullopt;
+  const Expr span = *top - *base;
+  const Expr g = *a - span - Expr::constant(1);
+  if (ra.proveNonNegative(g)) return g;
+  if (ra.proveNonPositive(g)) return Expr();  // overlapped or exactly abutting
+  return std::nullopt;
+}
+
+namespace {
+
+/// Can the strided structure of `t` disprove element sharing even though the
+/// address intervals interleave? True for transpose-style accesses whose
+/// sequential offsets all live in one residue class mod g while the parallel
+/// stride |a| is smaller than g.
+bool residueDisjoint(const IDTerm& t, const Expr& absA, const sym::RangeAnalyzer& ra) {
+  for (const auto& g : t.seqDims) {
+    bool dividesAll = true;
+    for (const auto& other : t.seqDims) {
+      const auto q = Expr::divideExact(other.delta, g.delta);
+      if (!q || !ra.proveIntegerValued(*q)) {
+        dividesAll = false;
+        break;
+      }
+    }
+    if (dividesAll && ra.provePositive(absA) && ra.proveLT(absA, g.delta)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<bool> IterationDescriptor::hasOverlap(const sym::RangeAnalyzer& ra) const {
+  // Overlapping storage (exists Delta_s): do the regions of two *different*
+  // parallel iterations share elements? Checked across all term pairs with
+  // the same advance direction: term u at iteration i+1 against term v at
+  // iteration i (this catches both self-overlap and stencil halos living in
+  // a separate term). Reverse-direction pairs are the Delta_r symmetry, not
+  // overlap.
+  if (terms_.empty()) return std::nullopt;
+  bool any = false;
+  for (const auto& u : terms_) {
+    if (u.deltaP.isZero()) continue;  // no parallel advance
+    const auto a = absStride(u.deltaP, ra);
+    if (!a) return std::nullopt;
+    for (const auto& v : terms_) {
+      if (!(v.deltaP == u.deltaP)) continue;
+      // Interval test: [tau_u + a, tau_u + a + span_u] vs [tau_v, tau_v + span_v]
+      // (u advanced by one iteration; signs folded into deltaP work out the
+      // same because both terms advance together).
+      const Expr uLo = u.tau0 + u.deltaP;
+      const Expr uHi = uLo + u.seqSpan;
+      const Expr vLo = v.tau0;
+      const Expr vHi = v.tau0 + v.seqSpan;
+      const bool separated =
+          ra.proveLT(uHi, vLo) || ra.proveLT(vHi, uLo);
+      if (separated) continue;
+      const bool intersects = ra.proveLE(uLo, vHi) && ra.proveLE(vLo, uHi);
+      if (!intersects) return std::nullopt;  // indeterminate pair
+      // Intervals meet; a residue-class argument can still disprove sharing
+      // for strided patterns (and must agree for both terms).
+      if (&u == &v && residueDisjoint(u, *a, ra)) continue;
+      any = true;
+    }
+  }
+  return any;
+}
+
+std::optional<Expr> IterationDescriptor::overlapDistance(const sym::RangeAnalyzer& ra) const {
+  // Largest provable overlap width Delta_s over term pairs (u advanced by
+  // one iteration against v): width = tau_v + span_v - (tau_u + deltaP) + 1.
+  const auto ov = hasOverlap(ra);
+  if (!ov || !*ov) return std::nullopt;
+  std::optional<Expr> best;
+  for (const auto& u : terms_) {
+    if (u.deltaP.isZero()) continue;
+    for (const auto& v : terms_) {
+      if (!(v.deltaP == u.deltaP)) continue;
+      const Expr width = v.tau0 + v.seqSpan - (u.tau0 + u.deltaP) + Expr::constant(1);
+      if (!ra.provePositive(width)) continue;
+      // Width cannot exceed the advanced term's own extent.
+      const Expr capped = ra.proveLE(width, u.seqSpan + Expr::constant(1))
+                              ? width
+                              : u.seqSpan + Expr::constant(1);
+      if (!best || ra.proveLE(*best, capped)) best = capped;
+    }
+  }
+  return best;
+}
+
+StorageSymmetry IterationDescriptor::symmetry(std::size_t a, std::size_t b,
+                                              const sym::RangeAnalyzer& ra) const {
+  AD_REQUIRE(a < terms_.size() && b < terms_.size(), "term index out of range");
+  StorageSymmetry out;
+  const IDTerm& ta = terms_[a];
+  const IDTerm& tb = terms_[b];
+  const auto samePatternDims = [&]() {
+    if (ta.seqDims.size() != tb.seqDims.size()) return false;
+    for (std::size_t i = 0; i < ta.seqDims.size(); ++i) {
+      if (!(ta.seqDims[i] == tb.seqDims[i])) return false;
+    }
+    return true;
+  };
+  if (!samePatternDims()) return out;
+
+  const Expr d = tb.tau0 - ta.tau0;
+  if (ta.deltaP == tb.deltaP) {
+    // Same advance direction: shifted storage, distance |tau_b - tau_a|.
+    if (ra.proveNonNegative(d)) {
+      out.shifted = d;
+    } else if (ra.proveNonPositive(d)) {
+      out.shifted = -d;
+    }
+  } else if (ta.deltaP == -tb.deltaP && !ta.deltaP.isZero()) {
+    // Opposite directions: reverse storage; the separation of the two bases
+    // closes at 2*|deltaP| per parallel iteration.
+    if (ra.proveNonNegative(d)) {
+      out.reverse = d;
+    } else if (ra.proveNonPositive(d)) {
+      out.reverse = -d;
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> IterationDescriptor::addressesAt(
+    std::int64_t iter, const std::map<sym::SymbolId, std::int64_t>& params) const {
+  std::set<std::int64_t> out;
+  for (const auto& t : terms_) {
+    const Expr baseE = t.tauAt(Expr::constant(iter));
+    const std::int64_t base = baseE.evaluate(params).asInteger();
+    const std::int64_t span = t.seqSpan.evaluate(params).asInteger();
+
+    // Try the precise enumeration over the sequential dims; symbolic strides
+    // (they can reference loop indices) force the interval fallback, which is
+    // still a sound superset.
+    bool precise = true;
+    std::vector<std::pair<std::int64_t, std::int64_t>> dims;  // (delta*lambda, alpha)
+    for (const auto& d : t.seqDims) {
+      Rational dv(0);
+      Rational av(0);
+      try {
+        dv = d.delta.evaluate(params);
+        av = d.alpha.evaluate(params);
+      } catch (const AnalysisError&) {
+        precise = false;
+        break;
+      }
+      if (!dv.isInteger() || !av.isInteger()) {
+        precise = false;
+        break;
+      }
+      dims.emplace_back(dv.asInteger() * d.lambda, av.asInteger());
+    }
+    if (precise) {
+      // The enumeration starts from the region *minimum*; negative-stride
+      // dims walk downward from the top of their extent, so shift the start
+      // so all offsets stay inside [0, span].
+      std::int64_t start = 0;
+      for (const auto& [step, count] : dims) {
+        if (step < 0) start -= step * (count - 1);
+      }
+      std::vector<std::int64_t> offsets{start};
+      for (const auto& [step, count] : dims) {
+        std::vector<std::int64_t> next;
+        next.reserve(offsets.size() * static_cast<std::size_t>(count));
+        for (std::int64_t o : offsets) {
+          for (std::int64_t k = 0; k < count; ++k) next.push_back(o + k * step);
+        }
+        offsets = std::move(next);
+      }
+      for (std::int64_t o : offsets) out.insert(base + o);
+    } else {
+      for (std::int64_t a = base; a <= base + span; ++a) out.insert(a);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace ad::desc

@@ -1,0 +1,98 @@
+// Iteration Descriptors (Section 3) and the region quantities of Section 4.2:
+// upper limits, memory gaps, and the storage-symmetry distances
+// (shifted Delta_d, reverse Delta_r, overlapping Delta_s).
+//
+// The ID of array X in parallel iteration i of phase F_k is obtained from the
+// phase descriptor by removing the parallel dimension; each term keeps its
+// sequential dims, its signed parallel stride deltaP, and the extended offset
+// tauB(i) = tau + i*deltaP. The per-iteration region of a term is
+// [tauB(i) + 0, tauB(i) + seqSpan] traversed by the sequential dims.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "descriptors/phase_descriptor.hpp"
+
+namespace ad::desc {
+
+/// One term of an iteration descriptor.
+struct IDTerm {
+  std::vector<Dim> seqDims;  ///< the B matrix row + delta_B of the paper
+  sym::Expr deltaP;          ///< signed stride of the parallel loop
+  sym::Expr tau0;            ///< region base at parallel iteration i = 0
+  sym::Expr seqSpan;         ///< extent of the per-iteration sub-region
+
+  /// Extended offset tau_B(i) = tau0 + i * deltaP.
+  [[nodiscard]] sym::Expr tauAt(const sym::Expr& i) const { return tau0 + i * deltaP; }
+};
+
+/// Storage-symmetry distances between two ID terms (paper Figure 5).
+struct StorageSymmetry {
+  /// Shifted storage: same pattern, second region displaced by Delta_d.
+  std::optional<sym::Expr> shifted;
+  /// Reverse storage: patterns advance toward each other; initial separation
+  /// Delta_r (they collide after Delta_r / (2*|deltaP|) iterations).
+  std::optional<sym::Expr> reverse;
+};
+
+class IterationDescriptor {
+ public:
+  IterationDescriptor() = default;  ///< empty descriptor (no terms)
+  IterationDescriptor(std::string array, std::size_t phaseIndex, std::vector<IDTerm> terms)
+      : array_(std::move(array)), phase_(phaseIndex), terms_(std::move(terms)) {}
+
+  [[nodiscard]] const std::string& array() const noexcept { return array_; }
+  [[nodiscard]] std::size_t phaseIndex() const noexcept { return phase_; }
+  [[nodiscard]] const std::vector<IDTerm>& terms() const noexcept { return terms_; }
+
+  /// True if every term advances with the same signed parallel stride (the
+  /// common case; UL/gap formulas below require it).
+  [[nodiscard]] bool uniformParallelStride() const;
+
+  /// Upper limit UL(I(X,i)): the farthest memory position of iteration i's
+  /// sub-region, as a symbolic function of i. Requires uniform stride and
+  /// comparable term bases; nullopt otherwise.
+  [[nodiscard]] std::optional<sym::Expr> upperLimit(const sym::Expr& i,
+                                                    const sym::RangeAnalyzer& ra) const;
+
+  /// UL(I(X,i), p): farthest position over the chunk [i, i+p-1].
+  [[nodiscard]] std::optional<sym::Expr> upperLimitChunk(const sym::Expr& i, const sym::Expr& p,
+                                                         const sym::RangeAnalyzer& ra) const;
+
+  /// Memory gap h^k: unaccessed positions between consecutive iterations'
+  /// sub-regions, max(0, |deltaP| - span - 1) on the aggregated region.
+  /// nullopt if the sign of (|deltaP| - span - 1) cannot be established.
+  [[nodiscard]] std::optional<sym::Expr> memoryGap(const sym::RangeAnalyzer& ra) const;
+
+  /// True if consecutive parallel iterations' regions overlap (Delta_s > 0,
+  /// i.e. |deltaP| < span + 1), including the multi-term aggregate. nullopt
+  /// when indeterminate — callers should treat that as "may overlap".
+  [[nodiscard]] std::optional<bool> hasOverlap(const sym::RangeAnalyzer& ra) const;
+
+  /// Overlapping distance Delta_s = span + 1 - |deltaP| when positive.
+  [[nodiscard]] std::optional<sym::Expr> overlapDistance(const sym::RangeAnalyzer& ra) const;
+
+  /// Pairwise storage-symmetry distances between terms `a` and `b`.
+  [[nodiscard]] StorageSymmetry symmetry(std::size_t a, std::size_t b,
+                                         const sym::RangeAnalyzer& ra) const;
+
+  /// Concrete addresses predicted for parallel iteration `iter` under numeric
+  /// parameter bindings — the superset the descriptors promise. Used by the
+  /// property tests to check containment of the ground-truth access set.
+  [[nodiscard]] std::vector<std::int64_t> addressesAt(
+      std::int64_t iter, const std::map<sym::SymbolId, std::int64_t>& params) const;
+
+ private:
+  std::string array_;
+  std::size_t phase_ = 0;
+  std::vector<IDTerm> terms_;
+};
+
+/// Derives the ID from a phase descriptor (drops the parallel dimension of
+/// each term). Terms of phases with no parallel loop get deltaP = 0: the
+/// "iteration" is the whole phase.
+[[nodiscard]] IterationDescriptor buildIterationDescriptor(const PhaseDescriptor& pd);
+
+}  // namespace ad::desc

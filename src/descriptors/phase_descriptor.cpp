@@ -1,0 +1,347 @@
+#include "descriptors/phase_descriptor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/string_utils.hpp"
+
+namespace ad::desc {
+
+using sym::Expr;
+
+// ---------------------------------------------------------------------------
+// PDTerm
+// ---------------------------------------------------------------------------
+
+const Dim* PDTerm::parallelDim() const {
+  for (const auto& d : dims) {
+    if (d.parallel) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<const Dim*> PDTerm::seqDims() const {
+  std::vector<const Dim*> out;
+  for (const auto& d : dims) {
+    if (!d.parallel) out.push_back(&d);
+  }
+  return out;
+}
+
+bool PDTerm::samePattern(const PDTerm& o) const {
+  if (dims.size() != o.dims.size()) return false;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (!(dims[i] == o.dims[i])) return false;
+  }
+  return hasParallel == o.hasParallel && deltaP == o.deltaP;
+}
+
+// ---------------------------------------------------------------------------
+// PhaseDescriptor
+// ---------------------------------------------------------------------------
+
+std::optional<Expr> PhaseDescriptor::minOffset(const sym::RangeAnalyzer& ra) const {
+  AD_REQUIRE(!terms_.empty(), "minOffset of empty descriptor");
+  Expr best = terms_[0].tau;
+  for (std::size_t i = 1; i < terms_.size(); ++i) {
+    if (ra.proveLE(terms_[i].tau, best)) {
+      best = terms_[i].tau;
+    } else if (!ra.proveLE(best, terms_[i].tau)) {
+      return std::nullopt;  // incomparable offsets
+    }
+  }
+  return best;
+}
+
+std::string PhaseDescriptor::str(const sym::SymbolTable& table) const {
+  std::ostringstream os;
+  os << "P(" << array_ << ", F" << phase_ << "):\n";
+  // When all terms share dimensions, print the paper's matrix form.
+  bool aligned = terms_.size() > 1;
+  for (std::size_t i = 1; i < terms_.size() && aligned; ++i) {
+    aligned = terms_[i].samePattern(terms_[0]);
+  }
+  if (aligned && !terms_.empty()) {
+    std::vector<std::string> deltas;
+    for (const auto& d : terms_[0].dims) {
+      deltas.push_back(d.delta.str(table) + (d.parallel ? " [par]" : ""));
+    }
+    os << "  delta = (" << join(deltas, ", ") << ")\n";
+    for (const auto& t : terms_) {
+      std::vector<std::string> alphas;
+      for (const auto& d : t.dims) alphas.push_back(d.alpha.str(table));
+      os << "  A row = (" << join(alphas, ", ") << "), tau = " << t.tau.str(table) << "\n";
+    }
+    return os.str();
+  }
+  for (const auto& t : terms_) {
+    std::vector<std::string> cols;
+    for (const auto& d : t.dims) {
+      cols.push_back("{delta=" + d.delta.str(table) + ", alpha=" + d.alpha.str(table) +
+                     ", lambda=" + (d.lambda > 0 ? std::string("+") : std::string("-")) +
+                     (d.parallel ? ", par" : "") + "}");
+    }
+    os << "  term: " << join(cols, " ") << " tau=" << t.tau.str(table) << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+PhaseDescriptor buildPhaseDescriptor(const ir::Program& program, std::size_t phaseIndex,
+                                     const std::string& array) {
+  const ir::Phase& phase = program.phase(phaseIndex);
+  std::vector<PDTerm> terms;
+  for (const ARD& ard : buildARDs(program, phase, array)) {
+    PDTerm t;
+    t.tau = ard.tau;
+    t.hasParallel = ard.hasParallel;
+    t.deltaP = ard.deltaP;
+    t.seqMin = ard.seqMin;
+    t.seqMax = ard.seqMax;
+    // Parallel dimension first, then sequential dims outer-to-inner;
+    // zero-stride (single-value) dimensions carry no information.
+    for (const auto& d : ard.dims) {
+      if (d.parallel && !d.delta.isZero()) t.dims.push_back(d);
+    }
+    for (const auto& d : ard.dims) {
+      if (!d.parallel && !d.delta.isZero()) t.dims.push_back(d);
+    }
+    terms.push_back(std::move(t));
+  }
+  return PhaseDescriptor(array, phaseIndex, std::move(terms));
+}
+
+// ---------------------------------------------------------------------------
+// Stride coalescing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// delta_j provably a positive integer multiple of delta_l?
+bool isMultipleOf(const Expr& deltaJ, const Expr& deltaL, const sym::RangeAnalyzer& ra) {
+  const auto q = Expr::divideExact(deltaJ, deltaL);
+  return q && ra.proveIntegerValued(*q) && ra.proveNonNegative(*q);
+}
+
+/// One contiguity-merge pass over the sequential dims of a term. Returns true
+/// if a merge happened.
+bool contiguityMergeOnce(PDTerm& term) {
+  for (std::size_t j = 0; j < term.dims.size(); ++j) {
+    if (term.dims[j].parallel) continue;
+    for (std::size_t l = 0; l < term.dims.size(); ++l) {
+      if (l == j || term.dims[l].parallel) continue;
+      if (term.dims[j].lambda != term.dims[l].lambda) continue;
+      // delta_j == delta_l * alpha_l: dim j steps exactly over the region
+      // covered by dim l, so the two dims form one contiguous dimension.
+      if (term.dims[j].delta == term.dims[l].delta * term.dims[l].alpha) {
+        term.dims[l].alpha = term.dims[l].alpha * term.dims[j].alpha;
+        term.dims.erase(term.dims.begin() + static_cast<std::ptrdiff_t>(j));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Subsumption pass: if some sequential dim l covers the whole sequential
+/// span with a stride dividing every other sequential stride, the other
+/// sequential dims are redundant. Returns number removed.
+std::size_t subsumeOnce(PDTerm& term, const sym::RangeAnalyzer& ra) {
+  std::vector<std::size_t> seq;
+  for (std::size_t i = 0; i < term.dims.size(); ++i) {
+    if (!term.dims[i].parallel) seq.push_back(i);
+  }
+  if (seq.size() < 2) return 0;
+  for (std::size_t l : seq) {
+    const Dim& dl = term.dims[l];
+    bool dividesAll = true;
+    for (std::size_t j : seq) {
+      if (j != l && !isMultipleOf(term.dims[j].delta, dl.delta, ra)) {
+        dividesAll = false;
+        break;
+      }
+    }
+    if (!dividesAll) continue;
+    // Whole per-iteration span inside dim l's own span?
+    const Expr spanL = dl.delta * (dl.alpha - Expr::constant(1));
+    if (!ra.proveLE(term.seqSpan(), spanL)) continue;
+    // Remove every other sequential dim.
+    std::vector<Dim> kept;
+    for (std::size_t i = 0; i < term.dims.size(); ++i) {
+      if (term.dims[i].parallel || i == l) kept.push_back(term.dims[i]);
+    }
+    const std::size_t removed = term.dims.size() - kept.size();
+    term.dims = std::move(kept);
+    return removed;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t coalesceStrides(PhaseDescriptor& pd, const sym::RangeAnalyzer& ra) {
+  std::size_t removed = 0;
+  for (auto& term : pd.terms()) {
+    while (contiguityMergeOnce(term)) ++removed;
+    removed += subsumeOnce(term, ra);
+    while (contiguityMergeOnce(term)) ++removed;
+  }
+  return removed;
+}
+
+// ---------------------------------------------------------------------------
+// Access descriptor union
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Do the parallel parts of two terms match (same DOALL stride and dim)?
+bool sameParallelPart(const PDTerm& a, const PDTerm& b) {
+  if (a.hasParallel != b.hasParallel || !(a.deltaP == b.deltaP)) return false;
+  const Dim* pa = a.parallelDim();
+  const Dim* pb = b.parallelDim();
+  if ((pa == nullptr) != (pb == nullptr)) return false;
+  return pa == nullptr || *pa == *pb;
+}
+
+/// Is the term's per-iteration region a contiguous interval? True for a
+/// single unit-stride sequential dim spanning it, or a single point.
+bool isContiguous(const PDTerm& t) {
+  const auto seq = t.seqDims();
+  if (seq.empty()) return t.seqSpan().isZero();
+  return seq.size() == 1 && seq[0]->delta.asInteger() == 1 &&
+         seq[0]->alpha == t.seqSpan() + Expr::constant(1);
+}
+
+/// Rewrite a contiguous term in place to span `span` elements from its
+/// (unchanged) base.
+void setContiguous(PDTerm& t, const Expr& span) {
+  std::vector<Dim> dims;
+  for (const auto& d : t.dims) {
+    if (d.parallel) dims.push_back(d);
+  }
+  if (!span.isZero()) dims.push_back(Dim{Expr::constant(1), span + Expr::constant(1), 1, false});
+  t.dims = std::move(dims);
+  t.seqMax = t.seqMin + span;
+}
+
+/// Try to merge term b into term a (b shifted at/after a). Success forms:
+/// identical regions; equal strided regions abutting along one sequential
+/// dim (the TFFT2 P/2 shift); or two contiguous intervals that overlap or
+/// abut (stencil reference groups A(..j-1), A(..j), A(..j+1)).
+/// Deliberately does NOT merge far-shifted copies: those are the paper's
+/// shifted/reverse storage symmetries and must stay separate terms so the
+/// Delta_d / Delta_r constraints of Table 2 can be emitted.
+bool tryMergeInto(PDTerm& a, const PDTerm& b, const sym::RangeAnalyzer& ra) {
+  const Expr d = b.tau - a.tau;
+  if (a.samePattern(b)) {
+    if (d.isZero()) return true;  // duplicate region
+    if (!ra.proveNonNegative(d)) return false;
+    for (auto& dim : a.dims) {
+      if (dim.parallel) continue;
+      // b starts exactly where dim `dim` of a ends: regions are contiguous
+      // along that dim, so the union doubles its trip count.
+      if (d == dim.delta * dim.alpha) {
+        dim.alpha = dim.alpha * Expr::constant(2);
+        a.seqMax = a.seqMax + d;
+        return true;
+      }
+    }
+  }
+  // Contiguous-interval union: [tau_a, tau_a + spanA] u [tau_b, tau_b + spanB]
+  // merges whenever b starts inside or right after a.
+  if (!sameParallelPart(a, b) || !isContiguous(a) || !isContiguous(b)) return false;
+  if (!ra.proveNonNegative(d)) return false;
+  if (!ra.proveLE(d, a.seqSpan() + Expr::constant(1))) return false;
+  const Expr endA = a.seqSpan();            // relative to tau_a
+  const Expr endB = d + b.seqSpan();        // relative to tau_a
+  Expr span;
+  if (ra.proveLE(endA, endB)) {
+    span = endB;
+  } else if (ra.proveLE(endB, endA)) {
+    span = endA;
+  } else {
+    return false;
+  }
+  setContiguous(a, span);  // base (tau, seqMin) unchanged: b starts at/after a
+  return true;
+}
+
+}  // namespace
+
+std::size_t unionTerms(PhaseDescriptor& pd, const sym::RangeAnalyzer& ra) {
+  auto& terms = pd.terms();
+  std::size_t merged = 0;
+  // Duplicate elimination first (read/write pairs of the same reference):
+  // doing it before the general pass keeps abutting-region merges from
+  // preempting a pending duplicate and stranding it.
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    for (std::size_t j = i + 1; j < terms.size();) {
+      if (terms[i].samePattern(terms[j]) && (terms[j].tau - terms[i].tau).isZero()) {
+        terms.erase(terms.begin() + static_cast<std::ptrdiff_t>(j));
+        ++merged;
+      } else {
+        ++j;
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < terms.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < terms.size() && !changed; ++j) {
+        // Order the pair so the smaller offset absorbs the larger.
+        if (ra.proveLE(terms[i].tau, terms[j].tau)) {
+          if (tryMergeInto(terms[i], terms[j], ra)) {
+            terms.erase(terms.begin() + static_cast<std::ptrdiff_t>(j));
+            ++merged;
+            changed = true;
+          }
+        } else if (ra.proveLE(terms[j].tau, terms[i].tau)) {
+          if (tryMergeInto(terms[j], terms[i], ra)) {
+            terms.erase(terms.begin() + static_cast<std::ptrdiff_t>(i));
+            ++merged;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Homogenization & offset adjustment
+// ---------------------------------------------------------------------------
+
+std::optional<PDTerm> homogenize(const PDTerm& a, const PDTerm& b, const sym::RangeAnalyzer& ra) {
+  PDTerm lo = a;
+  const PDTerm* hi = &b;
+  if (ra.proveLE(b.tau, a.tau)) {
+    lo = b;
+    hi = &a;
+  } else if (!ra.proveLE(a.tau, b.tau)) {
+    return std::nullopt;
+  }
+  if (tryMergeInto(lo, *hi, ra)) return lo;
+  return std::nullopt;
+}
+
+std::optional<Expr> adjustDistance(const PhaseDescriptor& pd, const Expr& tauMin,
+                                   const sym::RangeAnalyzer& ra) {
+  AD_REQUIRE(!pd.terms().empty(), "adjustDistance of empty descriptor");
+  const PDTerm& first = pd.terms().front();
+  AD_REQUIRE(!first.dims.empty(), "adjustDistance needs a leading stride");
+  const Expr num = first.tau - tauMin;
+  const Expr& den = first.dims.front().delta;
+  if (den.isZero()) return std::nullopt;
+  const auto q = Expr::divideExact(num, den);
+  if (!q || !ra.proveIntegerValued(*q)) return std::nullopt;
+  return q;
+}
+
+}  // namespace ad::desc

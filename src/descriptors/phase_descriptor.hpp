@@ -1,0 +1,99 @@
+// Phase Descriptors and their simplification operations (Section 2.1).
+//
+// A phase descriptor is the union of the ARDs of one array in one phase:
+// a set of LMAD-like *terms*, each with its own dimension list and offset.
+// The paper's presentation (matrix A, shared stride vector, offset vector)
+// is recovered by the printer when all terms share dimensions.
+//
+// Operations implemented here:
+//  - stride coalescing  (contiguity merge + range-analysis subsumption),
+//  - access descriptor union (merging shifted same-pattern terms),
+//  - descriptor homogenization (the same union applied across phases),
+//  - offset adjustment (the paper's adjust distance R^k).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "descriptors/ard.hpp"
+
+namespace ad::desc {
+
+/// One term (row) of a phase descriptor: a single LMAD-style region.
+struct PDTerm {
+  std::vector<Dim> dims;  ///< parallel dim first (if any), then sequential
+  sym::Expr tau;          ///< base offset of this term
+  bool hasParallel = false;
+  sym::Expr deltaP;  ///< signed parallel stride
+  sym::Expr seqMin;  ///< bounds of the per-iteration (sequential) sub-region
+  sym::Expr seqMax;
+
+  [[nodiscard]] sym::Expr seqSpan() const { return seqMax - seqMin; }
+  /// The parallel dimension, if present (always dims[0] by construction).
+  [[nodiscard]] const Dim* parallelDim() const;
+  /// The sequential dimensions (all dims after the parallel one).
+  [[nodiscard]] std::vector<const Dim*> seqDims() const;
+  /// True if dims/lambda/alpha/delta match `o` exactly (offsets may differ).
+  [[nodiscard]] bool samePattern(const PDTerm& o) const;
+};
+
+/// Phase descriptor P^k(X).
+class PhaseDescriptor {
+ public:
+  PhaseDescriptor() = default;  ///< empty descriptor (no terms)
+  PhaseDescriptor(std::string array, std::size_t phaseIndex, std::vector<PDTerm> terms)
+      : array_(std::move(array)), phase_(phaseIndex), terms_(std::move(terms)) {}
+
+  [[nodiscard]] const std::string& array() const noexcept { return array_; }
+  [[nodiscard]] std::size_t phaseIndex() const noexcept { return phase_; }
+  [[nodiscard]] const std::vector<PDTerm>& terms() const noexcept { return terms_; }
+  [[nodiscard]] std::vector<PDTerm>& terms() noexcept { return terms_; }
+
+  /// Smallest term offset (tau_min candidate for offset adjustment). Uses the
+  /// analyzer to order symbolic offsets; nullopt if incomparable.
+  [[nodiscard]] std::optional<sym::Expr> minOffset(const sym::RangeAnalyzer& ra) const;
+
+  [[nodiscard]] std::string str(const sym::SymbolTable& table) const;
+
+ private:
+  std::string array_;
+  std::size_t phase_ = 0;
+  std::vector<PDTerm> terms_;
+};
+
+/// Builds the PD of `array` in phase `phaseIndex` from its ARDs: one term per
+/// reference, zero-stride dimensions dropped, parallel dimension first.
+[[nodiscard]] PhaseDescriptor buildPhaseDescriptor(const ir::Program& program,
+                                                   std::size_t phaseIndex,
+                                                   const std::string& array);
+
+/// Stride coalescing (in place). Applies, to each term:
+///  - contiguity merges: delta_j == delta_l * alpha_l folds dim j into dim l
+///    (the paper's removal of delta_3 in Figure 3(b));
+///  - subsumption: when every sequential stride is a provable multiple of the
+///    finest dim's stride and the whole per-iteration span fits inside that
+///    dim's span, the other sequential dims are deleted (the removal of the
+///    non-affine delta_2 in Figure 3(c)).
+/// Returns the number of dimensions removed.
+std::size_t coalesceStrides(PhaseDescriptor& pd, const sym::RangeAnalyzer& ra);
+
+/// Access descriptor union (in place): merges pairs of terms with identical
+/// patterns whose regions abut (tau2 - tau1 == alpha_l * delta_l along a
+/// sequential dim, Figure 3(d)) or coincide. Returns number of terms merged.
+std::size_t unionTerms(PhaseDescriptor& pd, const sym::RangeAnalyzer& ra);
+
+/// Descriptor homogenization: when `a` and `b` (same array, different phases)
+/// have single same-pattern terms shifted relative to each other, returns the
+/// common (unioned) region as a term; nullopt otherwise.
+[[nodiscard]] std::optional<PDTerm> homogenize(const PDTerm& a, const PDTerm& b,
+                                               const sym::RangeAnalyzer& ra);
+
+/// The paper's adjust distance R^k = floor((tau1 - tauMin) / delta1), where
+/// delta1 is the first (parallel) stride of the descriptor's first term.
+/// nullopt if the division is not exact/provable.
+[[nodiscard]] std::optional<sym::Expr> adjustDistance(const PhaseDescriptor& pd,
+                                                      const sym::Expr& tauMin,
+                                                      const sym::RangeAnalyzer& ra);
+
+}  // namespace ad::desc

@@ -1,0 +1,247 @@
+#include "driver/pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "support/checked_int.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ad::driver {
+
+namespace {
+
+std::int64_t evalInt(const sym::Expr& e, const ir::Bindings& params, const char* what) {
+  const Rational r = e.evaluate(params);
+  if (!r.isInteger()) throw AnalysisError(std::string(what) + " is not integral");
+  return r.asInteger();
+}
+
+/// Chunk size for phase k: ILP solution if available, greedy BLOCK otherwise.
+std::int64_t chunkFor(const ir::Program& program, const ilp::Model& model,
+                      const ilp::Solution& solution, std::size_t k, const ir::Bindings& params,
+                      std::int64_t processors) {
+  if (solution.feasible) {
+    try {
+      return solution.chunkOf(model, k);
+    } catch (const ProgramError&) {
+      // phase without ILP variable: fall through
+    }
+  }
+  const std::int64_t trip = ir::parallelTripCount(program.phase(k), params);
+  return std::max<std::int64_t>(1, ceilDiv(trip, processors));
+}
+
+/// Distribution serving one LCG node: BLOCK-CYCLIC(slope * chunk), folded
+/// when the node carries reverse storage symmetry.
+dsm::DataDistribution nodeDistribution(const lcg::Node& node, std::int64_t chunk,
+                                       const ir::Bindings& params) {
+  std::int64_t block = std::max<std::int64_t>(1, chunk);
+  if (node.info.side) {
+    const std::int64_t slope = evalInt(node.info.side->slope, params, "slope");
+    if (slope > 0) block = checkedMul(slope, chunk);
+  }
+  for (const auto& s : node.info.storage) {
+    if (s.kind == loc::StorageConstraint::Kind::kReverse) {
+      const std::int64_t fold = evalInt(s.distance, params, "reverse distance");
+      if (fold >= 1) return dsm::DataDistribution::foldedBlockCyclic(block, fold);
+    }
+  }
+  return dsm::DataDistribution::blockCyclic(block);
+}
+
+}  // namespace
+
+dsm::ExecutionPlan derivePlan(const ir::Program& program, const lcg::LCG& lcg,
+                              const ilp::Model& model, const ilp::Solution& solution,
+                              const ir::Bindings& params, std::int64_t processors,
+                              const dsm::MachineParams& machine) {
+  dsm::ExecutionPlan plan;
+  const std::size_t numPhases = program.phases().size();
+  for (std::size_t k = 0; k < numPhases; ++k) {
+    plan.iteration.push_back(
+        dsm::IterationDistribution{chunkFor(program, model, solution, k, params, processors)});
+  }
+
+  for (const auto& g : lcg.graphs()) {
+    // Array replication (Section 4.3a "including array replication"): an
+    // array no phase ever writes is a read-only table — one copy per
+    // processor makes every access local with no consistency obligations.
+    bool everWritten = false;
+    for (const auto& ph : program.phases()) {
+      everWritten = everWritten || (ph.writes(g.array) && !ph.isPrivatized(g.array));
+    }
+    if (!everWritten) {
+      plan.data[g.array] =
+          std::vector<dsm::DataDistribution>(numPhases, dsm::DataDistribution::replicated());
+      plan.halo[g.array] = std::vector<std::int64_t>(numPhases, 0);
+      continue;
+    }
+
+    std::vector<dsm::DataDistribution> dists(
+        numPhases, dsm::DataDistribution::blocked(
+                       evalInt(program.array(g.array).size, params, "array size"), processors));
+    // Per-phase target distribution: chain heads fix the distribution for
+    // the whole chain, except that reverse-storage nodes get their own
+    // folded segment (entered by an explicit redistribution).
+    std::vector<std::optional<dsm::DataDistribution>> byNode(g.nodes.size());
+    for (const auto& chain : g.chains()) {
+      std::optional<dsm::DataDistribution> current;
+      for (const std::size_t n : chain) {
+        const lcg::Node& node = g.nodes[n];
+        if (node.attr == loc::Attr::kPrivatized) continue;  // scratch: carry previous
+        const bool reverse =
+            std::any_of(node.info.storage.begin(), node.info.storage.end(), [](const auto& s) {
+              return s.kind == loc::StorageConstraint::Kind::kReverse;
+            });
+        if (!current || reverse) {
+          const std::int64_t chunk = plan.iteration[node.phase].chunk;
+          current = nodeDistribution(node, chunk, params);
+        }
+        byNode[n] = current;
+      }
+    }
+    // Expand node distributions to all phases: each anchor's distribution is
+    // in effect from its phase until the next anchor; phases before the
+    // first anchor pre-place the data where the first accessor wants it.
+    std::vector<std::pair<std::size_t, dsm::DataDistribution>> anchors;
+    for (std::size_t n = 0; n < g.nodes.size(); ++n) {
+      if (byNode[n]) anchors.emplace_back(g.nodes[n].phase, *byNode[n]);
+    }
+    if (!anchors.empty()) {
+      std::size_t ai = 0;
+      for (std::size_t k = 0; k < numPhases; ++k) {
+        while (ai + 1 < anchors.size() && anchors[ai + 1].first <= k) ++ai;
+        dists[k] = (k < anchors[0].first) ? anchors[0].second : anchors[ai].second;
+      }
+    }
+    plan.data[g.array] = std::move(dists);
+
+    // Replicated halo widths: how far a node's per-iteration region extends
+    // beyond its own iteration tile [a*i, a*(i+1)), evaluated numerically
+    // over the ID terms (forward and backward reach).
+    std::vector<std::int64_t> halos(numPhases, 0);
+    for (const auto& node : g.nodes) {
+      const auto& terms = node.info.id.terms();
+      if (terms.empty() || !node.info.id.uniformParallelStride()) continue;
+      try {
+        const std::int64_t a =
+            std::abs(evalInt(terms[0].deltaP, params, "parallel stride"));
+        if (a == 0) continue;
+        // Per-term reach beyond the iteration tile [0, a). Stencil-scale
+        // reach (<= 2a) becomes replicated halo; far-shifted copies (the
+        // Delta_d/Delta_r symmetries) are excluded — they are served by the
+        // distribution's own alignment (or folded form), not replication.
+        std::int64_t halo = 0;
+        for (const auto& t : terms) {
+          const std::int64_t base = evalInt(t.tau0, params, "term base");
+          const std::int64_t top = base + evalInt(t.seqSpan, params, "term span");
+          const std::int64_t reach =
+              std::max<std::int64_t>({0, top - (a - 1), -base});
+          if (reach <= 2 * a) halo = std::max(halo, reach);
+        }
+        // Replication must pay for itself: compare the frontier-refresh cost
+        // against serving the boundary elements remotely. With tiny blocks
+        // (block-1 distributions of short DOALLs) the refresh latency loses.
+        if (halo > 0) {
+          const auto& dist = plan.data.at(g.array)[node.phase];
+          if (dist.hasOwner()) {
+            const std::int64_t size = evalInt(program.array(g.array).size, params, "size");
+            const std::int64_t boundaries =
+                std::max<std::int64_t>(0, ceilDiv(size, dist.block) - 1);
+            const double refresh =
+                (2.0 * static_cast<double>(boundaries) * machine.putLatency +
+                 2.0 * static_cast<double>(boundaries * halo) * machine.perWord) /
+                static_cast<double>(processors);
+            const double remote =
+                static_cast<double>(boundaries * halo) * machine.remoteAccess;
+            if (refresh >= remote) halo = 0;
+          }
+        }
+        halos[node.phase] = halo;
+      } catch (const AnalysisError&) {
+        // Symbolic strides (index-dependent): no halo model; accesses will
+        // be charged individually by the simulator.
+      }
+    }
+    plan.halo[g.array] = std::move(halos);
+  }
+  return plan;
+}
+
+PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConfig& config) {
+  auto lcgGraph = lcg::buildLCG(program, config.params, config.processors);
+  auto model = ilp::buildModel(lcgGraph, config.params, config.processors, config.costs);
+  auto solution = model.solve();
+  dsm::MachineParams machineForPlan = config.machine;
+  machineForPlan.processors = config.processors;
+  auto plan = derivePlan(program, lcgGraph, model, solution, config.params,
+                         config.processors, machineForPlan);
+
+  // Communication schedules for every distribution change.
+  std::vector<comm::CommSchedule> schedules;
+  for (const auto& [array, dists] : plan.data) {
+    const std::int64_t size = evalInt(program.array(array).size, config.params, "array size");
+    for (std::size_t k = 1; k < dists.size(); ++k) {
+      if (dists[k - 1] == dists[k]) continue;
+      if (!dists[k - 1].hasOwner() || !dists[k].hasOwner()) continue;
+      if (!dsm::redistributionMovesData(program, array, k)) continue;
+      auto sched = comm::generateGlobal(array, size, dists[k - 1], dists[k], config.processors);
+      AD_CHECK(comm::verifiesRedistribution(sched, size, dists[k - 1], dists[k],
+                                            config.processors));
+      schedules.push_back(std::move(sched));
+    }
+  }
+
+  dsm::MachineParams machine = config.machine;
+  machine.processors = config.processors;
+
+  PipelineResult result{std::move(lcgGraph),
+                        std::move(model),
+                        std::move(solution),
+                        plan,
+                        std::move(schedules),
+                        dsm::simulate(program, config.params, machine, plan),
+                        {},
+                        config.processors};
+  if (config.simulateBaseline) {
+    result.naive = dsm::simulate(program, config.params, machine,
+                                 dsm::ExecutionPlan::naiveBlock(program, config.params,
+                                                                config.processors));
+  }
+  return result;
+}
+
+std::string PipelineResult::report(const ir::Program& program) const {
+  std::ostringstream os;
+  os << "=== LCG ===\n" << lcg.str();
+  os << "\n=== ILP model (Table-2 form) ===\n" << model.str();
+  os << "\n=== Solution ===\n";
+  if (solution.feasible) {
+    for (std::size_t i = 0; i < model.variables().size(); ++i) {
+      os << "  " << model.variables()[i].name << " = " << solution.values[i] << "\n";
+    }
+    os << "  objective = " << solution.objective << "\n";
+  } else {
+    os << "  (infeasible: greedy per-phase chunks used)\n";
+  }
+  os << "\n=== Iteration distributions ===\n";
+  for (std::size_t k = 0; k < plan.iteration.size(); ++k) {
+    os << "  " << program.phase(k).name() << ": CYCLIC(" << plan.iteration[k].chunk << ")\n";
+  }
+  os << "\n=== Communication schedules ===\n";
+  for (const auto& s : schedules) {
+    os << "  " << s.array() << ": " << s.messageCount() << " msgs, " << s.totalWords()
+       << " words\n";
+  }
+  os << "\n=== Simulated execution (H = " << processors << ") ===\n";
+  os << "LCG-derived plan:\n" << planned.str();
+  os << "  efficiency = " << plannedEfficiency() << "\n";
+  if (!naive.phases.empty()) {
+    os << "Naive BLOCK baseline:\n" << naive.str();
+    os << "  efficiency = " << naiveEfficiency() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ad::driver

@@ -1,0 +1,67 @@
+// End-to-end pipeline: the full compiler flow of the paper.
+//
+//   program --(descriptors)--> LCG --(Table-2 model)--> ILP solution
+//           --(plan derivation)--> iteration/data distributions
+//           --(comm generation)--> put schedules for every redistribution
+//           --(DSM simulation)--> measured locality and parallel efficiency,
+//                                 against the naive BLOCK baseline.
+//
+// Plan derivation follows Section 4.3: every chain of L edges shares one
+// static BLOCK-CYCLIC(slope * p_head) distribution; C edges become global
+// redistributions; nodes with reverse storage symmetry get the folded
+// ("reverse") distribution, entered through an explicit redistribution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/schedule.hpp"
+#include "dsm/machine.hpp"
+#include "ilp/model.hpp"
+#include "lcg/lcg.hpp"
+
+namespace ad::driver {
+
+struct PipelineConfig {
+  ir::Bindings params;            ///< numeric values for the program parameters
+  std::int64_t processors = 8;
+  ilp::CostParams costs;
+  dsm::MachineParams machine;     ///< machine.processors is overridden by `processors`
+
+  /// Also simulate the naive BLOCK/BLOCK baseline for comparison.
+  bool simulateBaseline = true;
+};
+
+/// Everything the pipeline produces. Valid only while the analyzed Program
+/// is alive (the LCG references it).
+struct PipelineResult {
+  lcg::LCG lcg;
+  ilp::Model model;
+  ilp::Solution solution;
+  dsm::ExecutionPlan plan;
+  std::vector<comm::CommSchedule> schedules;  ///< one per redistribution point
+  dsm::SimulationResult planned;              ///< under the derived plan
+  dsm::SimulationResult naive;                ///< under the BLOCK baseline
+  std::int64_t processors = 1;
+
+  [[nodiscard]] double plannedEfficiency() const { return planned.efficiency(processors); }
+  [[nodiscard]] double naiveEfficiency() const { return naive.efficiency(processors); }
+
+  /// Human-readable end-to-end report.
+  [[nodiscard]] std::string report(const ir::Program& program) const;
+};
+
+/// Derives the execution plan from a solved model (exposed for tests).
+[[nodiscard]] dsm::ExecutionPlan derivePlan(const ir::Program& program, const lcg::LCG& lcg,
+                                            const ilp::Model& model,
+                                            const ilp::Solution& solution,
+                                            const ir::Bindings& params,
+                                            std::int64_t processors,
+                                            const dsm::MachineParams& machine = {});
+
+/// Runs the whole flow. Throws AnalysisError/ProgramError on unanalyzable
+/// inputs; an infeasible ILP falls back to per-phase greedy chunks.
+[[nodiscard]] PipelineResult analyzeAndSimulate(const ir::Program& program,
+                                                const PipelineConfig& config);
+
+}  // namespace ad::driver

@@ -1,0 +1,269 @@
+#include "dsm/machine.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/checked_int.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ad::dsm {
+
+// ---------------------------------------------------------------------------
+// Distributions
+// ---------------------------------------------------------------------------
+
+DataDistribution DataDistribution::blockCyclic(std::int64_t block) {
+  AD_REQUIRE(block >= 1, "block size must be positive");
+  return DataDistribution{Kind::kBlockCyclic, block};
+}
+
+DataDistribution DataDistribution::blocked(std::int64_t arraySize, std::int64_t processors) {
+  return blockCyclic(std::max<std::int64_t>(1, ceilDiv(arraySize, processors)));
+}
+
+DataDistribution DataDistribution::foldedBlockCyclic(std::int64_t block, std::int64_t fold) {
+  AD_REQUIRE(block >= 1 && fold >= 1, "bad folded distribution parameters");
+  return DataDistribution{Kind::kFoldedBlockCyclic, block, fold};
+}
+
+DataDistribution DataDistribution::replicated() {
+  return DataDistribution{Kind::kReplicated, 1, 0};
+}
+
+DataDistribution DataDistribution::privatePerPE() {
+  return DataDistribution{Kind::kPrivate, 1, 0};
+}
+
+std::int64_t DataDistribution::owner(std::int64_t addr, std::int64_t processors) const {
+  AD_REQUIRE(hasOwner(), "owner() requires an owner-bearing distribution");
+  AD_REQUIRE(addr >= 0, "negative address");
+  std::int64_t a = addr;
+  if (kind == Kind::kFoldedBlockCyclic) {
+    const std::int64_t m = addr % fold;
+    a = std::min(m, fold - m);
+  }
+  return (a / block) % processors;
+}
+
+bool DataDistribution::isLocal(std::int64_t addr, std::int64_t pe, std::int64_t processors,
+                               std::int64_t halo) const {
+  if (!hasOwner()) return true;  // replicated / private copies
+  if (owner(addr, processors) == pe) return true;
+  if (halo <= 0) return false;
+  // Replicated halos: pe also holds copies of `halo` elements adjacent to
+  // each of its blocks (checked on the folded address for folded kinds).
+  std::int64_t a = addr;
+  if (kind == Kind::kFoldedBlockCyclic) {
+    const std::int64_t m = addr % fold;
+    a = std::min(m, fold - m);
+  }
+  const std::int64_t b = a / block;
+  const std::int64_t within = a - b * block;
+  if (within < halo && euclidMod(b - 1, processors) == pe) return true;
+  if (within >= block - halo && euclidMod(b + 1, processors) == pe) return true;
+  return false;
+}
+
+std::int64_t IterationDistribution::executor(std::int64_t iter, std::int64_t processors) const {
+  AD_REQUIRE(chunk >= 1, "chunk must be positive");
+  AD_REQUIRE(iter >= 0, "negative iteration");
+  return (iter / chunk) % processors;
+}
+
+// ---------------------------------------------------------------------------
+// Result accounting
+// ---------------------------------------------------------------------------
+
+double SimulationResult::parallelTime() const {
+  double t = 0.0;
+  for (const auto& p : phases) t += p.time;
+  for (const auto& r : redistributions) t += r.time;
+  return t;
+}
+
+double SimulationResult::sequentialTime() const {
+  double t = 0.0;
+  for (const auto& p : phases) t += p.seqTime;
+  return t;
+}
+
+std::int64_t SimulationResult::totalRemoteAccesses() const {
+  std::int64_t n = 0;
+  for (const auto& p : phases) n += p.remoteAccesses;
+  return n;
+}
+
+std::int64_t SimulationResult::totalWordsMoved() const {
+  std::int64_t n = 0;
+  for (const auto& r : redistributions) n += r.wordsMoved;
+  return n;
+}
+
+std::string SimulationResult::str() const {
+  std::ostringstream os;
+  for (const auto& p : phases) {
+    os << "  " << p.phase << ": local=" << p.localAccesses << " remote=" << p.remoteAccesses
+       << " time=" << p.time << "\n";
+  }
+  for (const auto& r : redistributions) {
+    os << "  " << (r.frontier ? "frontier " : "redistribute ") << r.array << " before phase " << r.beforePhase + 1
+       << ": words=" << r.wordsMoved << " msgs=" << r.messages << " time=" << r.time << "\n";
+  }
+  os << "  T_par=" << parallelTime() << " T_seq=" << sequentialTime()
+     << " speedup=" << speedup() << "\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Plans
+// ---------------------------------------------------------------------------
+
+ExecutionPlan ExecutionPlan::naiveBlock(const ir::Program& program, const ir::Bindings& params,
+                                        std::int64_t processors) {
+  ExecutionPlan plan;
+  for (const auto& ph : program.phases()) {
+    const std::int64_t trip = ir::parallelTripCount(ph, params);
+    plan.iteration.push_back(
+        IterationDistribution{std::max<std::int64_t>(1, ceilDiv(trip, processors))});
+  }
+  for (const auto& arr : program.arrays()) {
+    const Rational sz = arr.size.evaluate(params);
+    const auto dist = DataDistribution::blocked(sz.asInteger(), processors);
+    plan.data[arr.name] = std::vector<DataDistribution>(program.phases().size(), dist);
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+bool redistributionMovesData(const ir::Program& program, const std::string& array,
+                             std::size_t phase) {
+  for (std::size_t k = phase; k < program.phases().size(); ++k) {
+    const ir::Phase& ph = program.phase(k);
+    if (ph.isPrivatized(array)) continue;  // scratch use: old values irrelevant
+    if (!ph.accesses(array)) continue;
+    return ph.reads(array);  // first real use: reads need the old values
+  }
+  return false;  // never used again
+}
+
+SimulationResult simulate(const ir::Program& program, const ir::Bindings& params,
+                          const MachineParams& machine, const ExecutionPlan& plan) {
+  AD_REQUIRE(plan.iteration.size() == program.phases().size(),
+             "plan must cover every phase");
+  const std::int64_t H = machine.processors;
+  SimulationResult result;
+
+  for (std::size_t k = 0; k < program.phases().size(); ++k) {
+    const ir::Phase& phase = program.phase(k);
+
+    // Redistributions: any array whose distribution changes entering phase k.
+    if (k > 0) {
+      for (const auto& arr : program.arrays()) {
+        const auto it = plan.data.find(arr.name);
+        if (it == plan.data.end()) continue;
+        const DataDistribution& prev = it->second[k - 1];
+        const DataDistribution& next = it->second[k];
+        if (prev == next) continue;
+        if (!prev.hasOwner() || !next.hasOwner()) {
+          continue;  // entering/leaving private scratch moves no shared data
+        }
+        if (!redistributionMovesData(program, arr.name, k)) {
+          continue;  // dead values: re-allocation only, no copies
+        }
+        RedistributionStats rs;
+        rs.array = arr.name;
+        rs.beforePhase = k;
+        const std::int64_t size = arr.size.evaluate(params).asInteger();
+        std::set<std::pair<std::int64_t, std::int64_t>> pairs;
+        for (std::int64_t a = 0; a < size; ++a) {
+          const std::int64_t src = prev.owner(a, H);
+          const std::int64_t dst = next.owner(a, H);
+          if (src == dst) continue;
+          ++rs.wordsMoved;
+          pairs.insert({src, dst});
+        }
+        rs.messages = static_cast<std::int64_t>(pairs.size());
+        // Aggregated puts proceed in parallel across processors: the
+        // critical path carries ~1/H of the volume and messages.
+        rs.time = (static_cast<double>(rs.messages) * machine.putLatency +
+                   static_cast<double>(rs.wordsMoved) * machine.perWord) /
+                  static_cast<double>(H);
+        if (rs.wordsMoved > 0) result.redistributions.push_back(std::move(rs));
+      }
+    }
+
+    // Frontier refreshes: before a phase reading an array through a halo,
+    // the owners push the replicated overlap regions (aggregated puts).
+    for (const auto& arr : program.arrays()) {
+      const auto hit = plan.halo.find(arr.name);
+      if (hit == plan.halo.end() || hit->second[k] <= 0) continue;
+      if (!phase.reads(arr.name) || phase.isPrivatized(arr.name)) continue;
+      bool writtenElsewhere = false;
+      for (const auto& other : program.phases()) {
+        writtenElsewhere = writtenElsewhere ||
+                           (&other != &phase && other.writes(arr.name) &&
+                            !other.isPrivatized(arr.name));
+      }
+      if (!writtenElsewhere) continue;
+      const auto& dist = plan.data.at(arr.name)[k];
+      if (!dist.hasOwner()) continue;
+      const std::int64_t size = arr.size.evaluate(params).asInteger();
+      const std::int64_t boundaries = std::max<std::int64_t>(0, ceilDiv(size, dist.block) - 1);
+      RedistributionStats rs;
+      rs.array = arr.name;
+      rs.beforePhase = k;
+      rs.frontier = true;
+      rs.wordsMoved = 2 * hit->second[k] * boundaries;  // both directions
+      rs.messages = 2 * boundaries;
+      rs.time = (static_cast<double>(rs.messages) * machine.putLatency +
+                 static_cast<double>(rs.wordsMoved) * machine.perWord) /
+                static_cast<double>(H);
+      if (rs.wordsMoved > 0) result.redistributions.push_back(std::move(rs));
+    }
+
+    PhaseStats ps;
+    ps.phase = phase.name();
+    ps.peTime.assign(static_cast<std::size_t>(H), 0.0);
+    const IterationDistribution& sched = plan.iteration[k];
+
+    ir::forEachAccess(program, phase, params,
+                      [&](const ir::ConcreteAccess& acc, const ir::Bindings&) {
+      const std::int64_t pe =
+          phase.hasParallelLoop() ? sched.executor(acc.parallelIter, H) : 0;
+      bool local = true;
+      if (!phase.isPrivatized(acc.ref->array)) {
+        const auto it = plan.data.find(acc.ref->array);
+        AD_REQUIRE(it != plan.data.end(), "plan missing array " + acc.ref->array);
+        // Halo replicas serve reads only (Theorem 1c: overlap must be
+        // read-only to stay consistent without updates).
+        std::int64_t halo = 0;
+        if (acc.ref->kind == ir::AccessKind::kRead) {
+          if (auto hit = plan.halo.find(acc.ref->array); hit != plan.halo.end()) {
+            halo = hit->second[k];
+          }
+        }
+        local = it->second[k].isLocal(acc.address, pe, H, halo);
+      }
+      // Compute work scales with the phase's per-access weight; remoteness
+      // adds a flat network penalty on top.
+      const double cost = machine.localAccess * phase.workPerAccess() +
+                          (local ? 0.0 : machine.remoteAccess);
+      ps.peTime[static_cast<std::size_t>(pe)] += cost;
+      ps.seqTime += machine.localAccess * phase.workPerAccess();
+      if (local) {
+        ++ps.localAccesses;
+      } else {
+        ++ps.remoteAccesses;
+      }
+    });
+    ps.time = *std::max_element(ps.peTime.begin(), ps.peTime.end());
+    result.phases.push_back(std::move(ps));
+  }
+  return result;
+}
+
+}  // namespace ad::dsm

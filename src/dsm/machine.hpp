@@ -1,0 +1,154 @@
+// DSM machine model.
+//
+// A deterministic simulator of a distributed-shared-memory multiprocessor in
+// the style of the paper's Cray T3D testbed: H processors, each owning a
+// slice of every shared array under a BLOCK-CYCLIC(b) distribution, with
+// single-sided put communication. Iterations of each parallel loop are
+// scheduled CYCLIC(p) (the paper's Section 4 assumption ii).
+//
+// The simulator replays a program's exact access stream (via ir::walker),
+// classifies every access local/remote against the active data distribution,
+// and charges costs from MachineParams. Data redistributions between phases
+// (the C edges of the LCG) are executed as aggregated puts.
+//
+// Cost parameters default to published T3D ratios (remote:local latency on
+// the order of 10^2, put startup on the order of 10^3 cycles); the paper's
+// claim that we reproduce — >70% parallel efficiency at H = 64 with
+// LCG-derived distributions — is about the *ratio* of local to remote
+// traffic, which the replay measures exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/walker.hpp"
+
+namespace ad::dsm {
+
+struct MachineParams {
+  std::int64_t processors = 8;
+  double localAccess = 1.0;     ///< cycles per local array access
+  double remoteAccess = 100.0;  ///< EXTRA cycles when the access is remote
+  double putLatency = 200.0;    ///< startup cycles per aggregated put message
+  double perWord = 4.0;         ///< cycles per word in an aggregated transfer
+};
+
+/// Placement of one array's elements across the processors.
+///
+/// kFoldedBlockCyclic is the paper's "reverse distribution" case: mirror
+/// pairs (a, fold - a) — and their fold-periodic images — are co-located,
+/// which makes conjugate-symmetry phases (TFFT2's DO_110) fully local.
+struct DataDistribution {
+  enum class Kind { kBlockCyclic, kFoldedBlockCyclic, kReplicated, kPrivate };
+  Kind kind = Kind::kBlockCyclic;
+  std::int64_t block = 1;  ///< BLOCK-CYCLIC block size, in elements
+  std::int64_t fold = 0;   ///< mirror period/center (kFoldedBlockCyclic only)
+
+  [[nodiscard]] static DataDistribution blockCyclic(std::int64_t block);
+  /// Plain BLOCK: one contiguous slice per processor.
+  [[nodiscard]] static DataDistribution blocked(std::int64_t arraySize, std::int64_t processors);
+  [[nodiscard]] static DataDistribution foldedBlockCyclic(std::int64_t block, std::int64_t fold);
+  [[nodiscard]] static DataDistribution replicated();
+  [[nodiscard]] static DataDistribution privatePerPE();
+
+  /// True when the distribution assigns each element to one owner.
+  [[nodiscard]] bool hasOwner() const noexcept {
+    return kind == Kind::kBlockCyclic || kind == Kind::kFoldedBlockCyclic;
+  }
+  /// Owning processor of an element (owner-bearing kinds only).
+  [[nodiscard]] std::int64_t owner(std::int64_t addr, std::int64_t processors) const;
+  /// Is `addr` in `pe`'s local memory? Replicated/private arrays always are.
+  /// `halo` widens each owned block by replicated overlap regions on both
+  /// sides (Theorem 1c's replicated sub-regions, refreshed by frontier
+  /// communications).
+  [[nodiscard]] bool isLocal(std::int64_t addr, std::int64_t pe, std::int64_t processors,
+                             std::int64_t halo = 0) const;
+
+  [[nodiscard]] bool operator==(const DataDistribution& o) const {
+    if (kind != o.kind) return false;
+    if (kind == Kind::kBlockCyclic) return block == o.block;
+    if (kind == Kind::kFoldedBlockCyclic) return block == o.block && fold == o.fold;
+    return true;
+  }
+};
+
+/// CYCLIC(chunk) scheduling of a parallel loop.
+struct IterationDistribution {
+  std::int64_t chunk = 1;
+
+  [[nodiscard]] std::int64_t executor(std::int64_t iter, std::int64_t processors) const;
+};
+
+struct PhaseStats {
+  std::string phase;
+  std::int64_t localAccesses = 0;
+  std::int64_t remoteAccesses = 0;
+  std::vector<double> peTime;  ///< per-processor busy time
+  double time = 0.0;           ///< max over processors
+  double seqTime = 0.0;        ///< all accesses at local cost (1 processor)
+
+  [[nodiscard]] double remoteFraction() const {
+    const auto total = localAccesses + remoteAccesses;
+    return total == 0 ? 0.0 : static_cast<double>(remoteAccesses) / static_cast<double>(total);
+  }
+};
+
+struct RedistributionStats {
+  std::string array;
+  std::size_t beforePhase = 0;  ///< communication happens before this phase
+  std::int64_t wordsMoved = 0;
+  std::int64_t messages = 0;  ///< after aggregation: distinct (src, dst) pairs
+  double time = 0.0;
+  bool frontier = false;  ///< frontier (halo refresh) rather than global
+};
+
+struct SimulationResult {
+  std::vector<PhaseStats> phases;
+  std::vector<RedistributionStats> redistributions;
+
+  [[nodiscard]] double parallelTime() const;
+  [[nodiscard]] double sequentialTime() const;
+  [[nodiscard]] double speedup() const { return sequentialTime() / parallelTime(); }
+  [[nodiscard]] double efficiency(std::int64_t processors) const {
+    return speedup() / static_cast<double>(processors);
+  }
+  [[nodiscard]] std::int64_t totalRemoteAccesses() const;
+  [[nodiscard]] std::int64_t totalWordsMoved() const;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// A full execution plan: one iteration distribution per phase, and for each
+/// array the data distribution in effect during each phase (a change between
+/// consecutive phases is executed as a redistribution).
+struct ExecutionPlan {
+  std::vector<IterationDistribution> iteration;                       // per phase
+  std::map<std::string, std::vector<DataDistribution>> data;          // array -> per phase
+  /// Replicated halo width per array per phase (0 = none). Reads within the
+  /// halo of a processor's blocks are local; a frontier refresh is charged
+  /// before each halo-reading phase whose array is written elsewhere.
+  std::map<std::string, std::vector<std::int64_t>> halo;
+
+  /// BLOCK everything: the baseline the paper's approach is compared to.
+  [[nodiscard]] static ExecutionPlan naiveBlock(const ir::Program& program,
+                                                const ir::Bindings& params,
+                                                std::int64_t processors);
+};
+
+/// True if changing `array`'s distribution entering phase `k` must move
+/// data: false when the next phase that touches the array only writes it
+/// (dead values need allocation, not copying — the paper's data allocation
+/// procedure). Assumes write-only phases produce the region they cover.
+[[nodiscard]] bool redistributionMovesData(const ir::Program& program, const std::string& array,
+                                           std::size_t phase);
+
+/// Replays the program under `plan` and returns the measured statistics.
+/// Arrays marked privatizable in a phase are local there regardless of the
+/// plan (each processor works on its own copy).
+[[nodiscard]] SimulationResult simulate(const ir::Program& program, const ir::Bindings& params,
+                                        const MachineParams& machine,
+                                        const ExecutionPlan& plan);
+
+}  // namespace ad::dsm

@@ -1,0 +1,40 @@
+// Data-flow validation of execution plans.
+//
+// The simulator counts *where* accesses land; this validator checks the plan
+// is also *correct*: every read served from a processor's local memory
+// (owned block, replicated halo, or replicated array) must observe the value
+// a sequential execution would — i.e. the local copy must be fresh.
+//
+// Mechanics: every array element carries a version, bumped on each write in
+// sequential program order. Owners are updated in place (a write by the
+// executing processor reaches the owner's copy directly or as a put); halo
+// and replica copies go stale on writes and are refreshed only by the plan's
+// frontier exchanges and redistributions — if a phase reads a halo element
+// the plan failed to refresh, that is a stale read.
+//
+// Reads that the plan serves remotely are always fresh (a DSM get observes
+// the owner's memory) — they cost time, not correctness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsm/machine.hpp"
+
+namespace ad::dsm {
+
+struct DataFlowReport {
+  std::int64_t readsChecked = 0;
+  std::int64_t staleReads = 0;
+  std::vector<std::string> diagnostics;  ///< first few offending reads
+
+  [[nodiscard]] bool ok() const noexcept { return staleReads == 0; }
+};
+
+/// Replays the program under `plan` with version tracking.
+[[nodiscard]] DataFlowReport validateDataFlow(const ir::Program& program,
+                                              const ir::Bindings& params,
+                                              const ExecutionPlan& plan,
+                                              std::int64_t processors);
+
+}  // namespace ad::dsm

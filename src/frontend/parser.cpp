@@ -1,0 +1,437 @@
+#include "frontend/parser.hpp"
+
+#include "symbolic/ranges.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace ad::frontend {
+
+using sym::Expr;
+
+ParseError::ParseError(const std::string& message, int line, int column)
+    : ProgramError("parse error at " + std::to_string(line) + ":" + std::to_string(column) +
+                   ": " + message),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kFloat,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kEquals,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kCaret,
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  std::int64_t number = 0;
+  double real = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  [[nodiscard]] const Token& peek() const noexcept { return current_; }
+
+  Token next() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skipSpace();
+    current_ = Token{};
+    current_.line = line_;
+    current_.column = column_;
+    if (pos_ >= src_.size()) {
+      current_.kind = Tok::kEnd;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (pos_ < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                                    src_[pos_] == '_')) {
+        ident.push_back(src_[pos_]);
+        bump();
+      }
+      current_.kind = Tok::kIdent;
+      current_.text = std::move(ident);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool isFloat = false;
+      while (pos_ < src_.size() && (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+                                    src_[pos_] == '.')) {
+        isFloat = isFloat || src_[pos_] == '.';
+        num.push_back(src_[pos_]);
+        bump();
+      }
+      if (isFloat) {
+        current_.kind = Tok::kFloat;
+        current_.real = std::stod(num);
+      } else {
+        current_.kind = Tok::kNumber;
+        current_.number = std::stoll(num);
+      }
+      current_.text = std::move(num);
+      return;
+    }
+    bump();
+    switch (c) {
+      case '(': current_.kind = Tok::kLParen; return;
+      case ')': current_.kind = Tok::kRParen; return;
+      case '{': current_.kind = Tok::kLBrace; return;
+      case '}': current_.kind = Tok::kRBrace; return;
+      case ',': current_.kind = Tok::kComma; return;
+      case '=': current_.kind = Tok::kEquals; return;
+      case '+': current_.kind = Tok::kPlus; return;
+      case '-': current_.kind = Tok::kMinus; return;
+      case '*': current_.kind = Tok::kStar; return;
+      case '/': current_.kind = Tok::kSlash; return;
+      case '^': current_.kind = Tok::kCaret; return;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", current_.line,
+                         current_.column);
+    }
+  }
+
+  void skipSpace() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') bump();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        bump();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void bump() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  Token current_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) {}
+
+  ir::Program parseProgram() {
+    ir::Program prog;
+    // Declarations.
+    while (lex_.peek().kind == Tok::kIdent) {
+      const std::string& kw = lex_.peek().text;
+      if (kw == "param") {
+        lex_.next();
+        prog.symbols().parameter(expectIdent("parameter name"));
+      } else if (kw == "pow2param") {
+        lex_.next();
+        const std::string name = expectIdent("parameter name");
+        expect(Tok::kEquals, "'='");
+        const Token base = lex_.next();
+        if (base.kind != Tok::kNumber || base.number != 2) {
+          throw ParseError("pow2param must be of the form NAME = 2^log", base.line, base.column);
+        }
+        expect(Tok::kCaret, "'^'");
+        prog.symbols().pow2Parameter(name, expectIdent("log symbol"));
+      } else if (kw == "array") {
+        lex_.next();
+        const std::string name = expectIdent("array name");
+        expect(Tok::kLParen, "'('");
+        std::vector<Expr> dims;
+        dims.push_back(parseExpr(prog.symbols(), {}));
+        while (lex_.peek().kind == Tok::kComma) {
+          lex_.next();
+          dims.push_back(parseExpr(prog.symbols(), {}));
+        }
+        expect(Tok::kRParen, "')'");
+        if (dims.size() == 1) {
+          prog.declareArray(name, std::move(dims[0]));
+        } else {
+          prog.declareArray(name, std::move(dims));
+        }
+      } else if (kw == "cyclic") {
+        lex_.next();
+        prog.setCyclic(true);
+      } else if (kw == "phase") {
+        break;
+      } else {
+        const Token t = lex_.peek();
+        throw ParseError("expected a declaration or 'phase', got '" + kw + "'", t.line,
+                         t.column);
+      }
+    }
+    // Phases.
+    while (lex_.peek().kind == Tok::kIdent && lex_.peek().text == "phase") {
+      parsePhase(prog);
+    }
+    const Token t = lex_.peek();
+    if (t.kind != Tok::kEnd) throw ParseError("trailing input after last phase", t.line, t.column);
+    prog.validate();
+    return prog;
+  }
+
+  Expr parseExprPublic(sym::SymbolTable& symbols, bool internParams) {
+    internParams_ = internParams;
+    Expr e = parseExpr(symbols, {});
+    const Token t = lex_.peek();
+    if (t.kind != Tok::kEnd) throw ParseError("trailing input after expression", t.line, t.column);
+    return e;
+  }
+
+ private:
+  void parsePhase(ir::Program& prog) {
+    lex_.next();  // 'phase'
+    const std::string name = expectIdent("phase name");
+    expect(Tok::kLBrace, "'{'");
+    ir::PhaseBuilder builder(prog, name);
+    std::map<std::string, sym::SymbolId> indexScope;
+    parseBody(prog, builder, indexScope, /*depth=*/0);
+    expect(Tok::kRBrace, "'}'");
+    builder.commit();
+  }
+
+  void parseBody(ir::Program& prog, ir::PhaseBuilder& builder,
+                 std::map<std::string, sym::SymbolId>& scope, int depth) {
+    while (lex_.peek().kind == Tok::kIdent) {
+      const std::string kw = lex_.peek().text;
+      if (kw == "do" || kw == "doall") {
+        lex_.next();
+        const Token nameTok = lex_.peek();
+        const std::string index = expectIdent("loop index");
+        if (scope.count(index)) {
+          throw ParseError("loop index '" + index + "' shadows an enclosing index",
+                           nameTok.line, nameTok.column);
+        }
+        expect(Tok::kEquals, "'='");
+        Expr lo = parseExpr(prog.symbols(), scope);
+        expect(Tok::kComma, "','");
+        Expr hi = parseExpr(prog.symbols(), scope);
+        if (kw == "doall") {
+          builder.doall(index, std::move(lo), std::move(hi));
+        } else {
+          builder.loop(index, std::move(lo), std::move(hi));
+        }
+        scope[index] = *prog.symbols().lookup(index);
+        expect(Tok::kLBrace, "'{'");
+        parseBody(prog, builder, scope, depth + 1);
+        expect(Tok::kRBrace, "'}'");
+        scope.erase(index);
+      } else if (kw == "read" || kw == "write" || kw == "update") {
+        lex_.next();
+        const Token arrTok = lex_.peek();
+        const std::string array = expectIdent("array name");
+        expect(Tok::kLParen, "'('");
+        std::vector<Expr> subscripts;
+        subscripts.push_back(parseExpr(prog.symbols(), scope));
+        while (lex_.peek().kind == Tok::kComma) {
+          lex_.next();
+          subscripts.push_back(parseExpr(prog.symbols(), scope));
+        }
+        expect(Tok::kRParen, "')'");
+        Expr subscript;
+        if (subscripts.size() == 1) {
+          subscript = std::move(subscripts[0]);  // raw linear offset (1-D view)
+        } else {
+          if (!prog.hasArray(array)) {
+            throw ParseError("multi-dimensional reference to undeclared array '" + array + "'",
+                             arrTok.line, arrTok.column);
+          }
+          try {
+            subscript = prog.array(array).linearize(subscripts);
+          } catch (const ProgramError& e) {
+            throw ParseError(e.what(), arrTok.line, arrTok.column);
+          }
+        }
+        if (kw == "read") {
+          builder.read(array, std::move(subscript));
+        } else if (kw == "write") {
+          builder.write(array, std::move(subscript));
+        } else {
+          builder.update(array, std::move(subscript));
+        }
+      } else if (kw == "private") {
+        lex_.next();
+        builder.privatize(expectIdent("array name"));
+      } else if (kw == "work") {
+        lex_.next();
+        const Token t = lex_.next();
+        if (t.kind == Tok::kFloat) {
+          builder.workPerAccess(t.real);
+        } else if (t.kind == Tok::kNumber) {
+          builder.workPerAccess(static_cast<double>(t.number));
+        } else {
+          throw ParseError("expected a number after 'work'", t.line, t.column);
+        }
+      } else {
+        return;  // end of this body ('}' or next phase keyword handled above)
+      }
+    }
+  }
+
+  // -- expressions ----------------------------------------------------------
+
+  Expr parseExpr(sym::SymbolTable& symbols, const std::map<std::string, sym::SymbolId>& scope) {
+    Expr e = parseTerm(symbols, scope);
+    while (lex_.peek().kind == Tok::kPlus || lex_.peek().kind == Tok::kMinus) {
+      const Tok op = lex_.next().kind;
+      Expr rhs = parseTerm(symbols, scope);
+      e = op == Tok::kPlus ? e + rhs : e - rhs;
+    }
+    return e;
+  }
+
+  Expr parseTerm(sym::SymbolTable& symbols, const std::map<std::string, sym::SymbolId>& scope) {
+    Expr e = parseFactor(symbols, scope);
+    while (lex_.peek().kind == Tok::kStar || lex_.peek().kind == Tok::kSlash) {
+      const Token op = lex_.next();
+      Expr rhs = parseFactor(symbols, scope);
+      if (op.kind == Tok::kStar) {
+        e = e * rhs;
+      } else {
+        auto q = Expr::divideExact(e, rhs);
+        // The quotient must be provably integer-valued (P/2 is fine for a
+        // pow2 parameter P; N/2 for a plain parameter N is not).
+        const sym::Assumptions defaults(symbols);
+        if (!q || !sym::RangeAnalyzer(defaults).proveIntegerValued(*q)) {
+          throw ParseError("'/' requires an exact integer division", op.line, op.column);
+        }
+        e = std::move(*q);
+      }
+    }
+    return e;
+  }
+
+  Expr parseFactor(sym::SymbolTable& symbols, const std::map<std::string, sym::SymbolId>& scope) {
+    bool negate = false;
+    while (lex_.peek().kind == Tok::kMinus) {
+      lex_.next();
+      negate = !negate;
+    }
+    Expr base = parsePrimary(symbols, scope);
+    if (lex_.peek().kind == Tok::kCaret) {
+      const Token caret = lex_.next();
+      // 2^e becomes a pow2 factor; ident^k an integer power.
+      if (auto b = base.asInteger(); b && *b == 2) {
+        Expr exponent = parsePrimary(symbols, scope);
+        base = Expr::pow2(exponent);
+      } else {
+        const Token t = lex_.peek();
+        Expr exponent = parsePrimary(symbols, scope);
+        const auto k = exponent.asInteger();
+        if (!k || *k < 0) {
+          throw ParseError("'^' needs base 2 or a constant nonnegative exponent", t.line,
+                           t.column);
+        }
+        Expr r = Expr::constant(1);
+        for (std::int64_t i = 0; i < *k; ++i) r = r * base;
+        base = std::move(r);
+        static_cast<void>(caret);
+      }
+    }
+    return negate ? -base : base;
+  }
+
+  Expr parsePrimary(sym::SymbolTable& symbols, const std::map<std::string, sym::SymbolId>& scope) {
+    const Token t = lex_.next();
+    switch (t.kind) {
+      case Tok::kNumber:
+        return Expr::constant(t.number);
+      case Tok::kLParen: {
+        Expr e = parseExpr(symbols, scope);
+        expect(Tok::kRParen, "')'");
+        return e;
+      }
+      case Tok::kIdent: {
+        if (auto it = scope.find(t.text); it != scope.end()) return Expr::symbol(it->second);
+        if (symbols.lookup(t.text)) return sym::makeSymbolExpr(symbols, t.text);
+        if (internParams_) return sym::makeSymbolExpr(symbols, t.text, /*internIfMissing=*/true);
+        throw ParseError("unknown identifier '" + t.text + "'", t.line, t.column);
+      }
+      case Tok::kMinus: {
+        // Unary minus inside a primary position (e.g. 2^(-L)).
+        Expr e = parsePrimary(symbols, scope);
+        return -e;
+      }
+      default:
+        throw ParseError("expected a number, identifier or '('", t.line, t.column);
+    }
+  }
+
+  // -- helpers ---------------------------------------------------------------
+
+  std::string expectIdent(const char* what) {
+    const Token t = lex_.next();
+    if (t.kind != Tok::kIdent) {
+      throw ParseError(std::string("expected ") + what, t.line, t.column);
+    }
+    return t.text;
+  }
+
+  void expect(Tok kind, const char* what) {
+    const Token t = lex_.next();
+    if (t.kind != kind) {
+      throw ParseError(std::string("expected ") + what + ", got '" + t.text + "'", t.line,
+                       t.column);
+    }
+  }
+
+  Lexer lex_;
+  bool internParams_ = false;
+};
+
+}  // namespace
+
+ir::Program parseProgram(std::string_view source) { return Parser(source).parseProgram(); }
+
+Expr parseExpr(std::string_view source, sym::SymbolTable& symbols, bool internParams) {
+  return Parser(source).parseExprPublic(symbols, internParams);
+}
+
+}  // namespace ad::frontend

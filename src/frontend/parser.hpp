@@ -1,0 +1,58 @@
+// Front end for the mini-Fortran phase language.
+//
+// Stands in for the Fortran77 + Polaris pipeline the paper used: programs
+// arrive already split into phases with DOALL-marked parallel loops,
+// normalized bounds, and linearized subscripts. Grammar (line comments with
+// '#'):
+//
+//   program    := decl* phase+
+//   decl       := "param" IDENT
+//               | "pow2param" IDENT "=" "2" "^" IDENT
+//               | "array" IDENT "(" expr ")"
+//               | "cyclic"
+//   phase      := "phase" IDENT "{" loop "}" phaseattr*  -- attrs inside {}
+//   loop       := ("do" | "doall") IDENT "=" expr "," expr "{" body "}"
+//   body       := (loop | stmt)*
+//   stmt       := ("read" | "write" | "update") IDENT "(" expr ")"
+//               | "private" IDENT
+//               | "work" NUMBER
+//   expr       := term (("+" | "-") term)*
+//   term       := factor (("*" | "/") factor)*      -- "/" must divide exactly
+//   factor     := ("-")? primary ("^" primary)?     -- 2^e is a pow2 factor
+//   primary    := NUMBER | IDENT | "(" expr ")"
+//
+// References may appear at any loop depth; as in the paper's model they are
+// characterized by the whole nest. Loop indices scope to their loop;
+// any other identifier must be a declared parameter.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ir/ir.hpp"
+
+namespace ad::frontend {
+
+/// Thrown on syntax or semantic errors, with line/column in the message.
+class ParseError : public ProgramError {
+ public:
+  ParseError(const std::string& message, int line, int column);
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Parses a full mini-Fortran program. The returned Program is validated.
+[[nodiscard]] ir::Program parseProgram(std::string_view source);
+
+/// Parses one expression against an existing symbol table (handy in tests
+/// and in the quickstart example). Unknown identifiers become parameters
+/// when `internParams` is set, otherwise raise ParseError.
+[[nodiscard]] sym::Expr parseExpr(std::string_view source, sym::SymbolTable& symbols,
+                                  bool internParams = false);
+
+}  // namespace ad::frontend

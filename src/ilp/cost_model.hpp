@@ -1,0 +1,44 @@
+// Parallel-overhead cost model (paper Section 4.3a, Eq. 7).
+//
+// The companion reports [7][8] with the measured cost functions are not
+// available; this is a reconstruction from the paper's description:
+//   - D^k(p): load-imbalance cost of phase k under CYCLIC(p) scheduling —
+//     the excess work of the busiest processor over the perfect share,
+//     weighted by the phase's per-iteration work.
+//   - C^kg(p): communication cost of a C edge leaving phase k — aggregated
+//     one-sided puts (H*(H-1) messages after message aggregation) plus a
+//     volume term proportional to the moved region.
+// Both are in abstract "cycles"; the DSM simulator uses the same parameters,
+// so ILP decisions and simulated outcomes are consistent.
+#pragma once
+
+#include <cstdint>
+
+namespace ad::ilp {
+
+struct CostParams {
+  double workPerAccess = 1.0;    ///< cycles per array access executed locally
+  double putLatency = 200.0;     ///< cycles per aggregated put message
+  double perWord = 4.0;          ///< cycles per word moved
+  double remoteAccess = 100.0;   ///< extra cycles per un-aggregated remote access
+};
+
+/// Iterations executed by the busiest processor under CYCLIC(chunk)
+/// scheduling of `trip` iterations over `processors`.
+[[nodiscard]] std::int64_t busiestIterations(std::int64_t trip, std::int64_t chunk,
+                                             std::int64_t processors);
+
+/// D^k: imbalance cost = (busiest - trip/H) * accessesPerIter * work.
+[[nodiscard]] double imbalanceCost(std::int64_t trip, std::int64_t chunk,
+                                   std::int64_t processors, double accessesPerIter,
+                                   const CostParams& cp);
+
+/// C^kg: aggregated redistribution of `volume` words among `processors`.
+[[nodiscard]] double redistributionCost(std::int64_t volume, std::int64_t processors,
+                                        const CostParams& cp);
+
+/// Frontier update of `overlap` words per processor boundary.
+[[nodiscard]] double frontierCost(std::int64_t overlap, std::int64_t processors,
+                                  const CostParams& cp);
+
+}  // namespace ad::ilp

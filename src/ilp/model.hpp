@@ -1,0 +1,124 @@
+// The integer programming model of Section 4.3(a) / Table 2.
+//
+// Variables: one chunk size p_{k,j} per LCG node (phase k, array j), bounded
+// by the load-balance constraints (Eqs. 2-3). Constraints:
+//   - locality:   slopeK * p_k = slopeG * p_g + c  for every L edge (Eq. 1),
+//   - affinity:   p_{k,1} = p_{k,2} = ...          (one iteration schedule
+//                 per phase, shared by all its arrays),
+//   - storage:    p * H <= Delta_d and p * H <= Delta_r / 2 for the
+//                 shifted/reverse symmetry terms,
+// and the objective of Eq. 7: sum of load-imbalance costs D^k plus the
+// communication costs C^kg of the C edges.
+//
+// The paper solved these with GAMS; `Model::solve` is an exact substitute:
+// the equality constraints organize the variables into affine one-parameter
+// components, which are enumerated over their (bounded) ranges.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ilp/cost_model.hpp"
+#include "lcg/lcg.hpp"
+
+namespace ad::ilp {
+
+struct Variable {
+  std::string name;   ///< paper-style p_{k+1}{j+1}, e.g. "p31"
+  std::size_t phase;  ///< program phase index
+  std::string array;
+  std::int64_t lo = 1;
+  std::int64_t hi = 1;  ///< ceil(trip / H), then tightened by storage bounds
+};
+
+/// a * vars[x] = b * vars[y] + c.
+struct EqualityConstraint {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  std::int64_t a = 1;
+  std::int64_t b = 1;
+  std::int64_t c = 0;
+  std::string label;
+};
+
+/// vars[var] * H <= rhs (a storage constraint, pre-division for reverse).
+struct StorageBound {
+  std::size_t var = 0;
+  std::int64_t rhs = 0;
+  std::string label;
+};
+
+/// Load-imbalance contribution of one phase (attached to one of its vars).
+struct PhaseCostTerm {
+  std::size_t var = 0;
+  std::int64_t trip = 0;
+  double accessesPerIter = 1.0;
+};
+
+/// Frontier-communication contribution of one overlap node: the halo refresh
+/// volume scales with the number of inter-processor block boundaries, i.e.
+/// inversely with the chunk size — this is what pushes the solver toward
+/// larger chunks for stencil codes.
+struct FrontierCostTerm {
+  std::size_t var = 0;
+  std::int64_t arraySize = 0;
+  std::int64_t slope = 1;  ///< elements per iteration (block = slope * chunk)
+  std::int64_t halo = 0;
+};
+
+struct Solution {
+  bool feasible = false;
+  std::vector<std::int64_t> values;  ///< aligned with Model::variables()
+  double objective = 0.0;
+
+  /// Chunk size of a phase (any of its variables; affinity makes them equal).
+  [[nodiscard]] std::int64_t chunkOf(const class Model& model, std::size_t phase) const;
+};
+
+class Model {
+ public:
+  [[nodiscard]] const std::vector<Variable>& variables() const noexcept { return vars_; }
+  [[nodiscard]] const std::vector<EqualityConstraint>& equalities() const noexcept {
+    return eqs_;
+  }
+  [[nodiscard]] const std::vector<StorageBound>& storageBounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] std::int64_t processors() const noexcept { return processors_; }
+
+  /// Exact minimization of the Eq. 7 objective over the constraint set.
+  [[nodiscard]] Solution solve() const;
+
+  /// Table-2 style listing: locality / load-balance / storage / affinity
+  /// sections plus the objective terms.
+  [[nodiscard]] std::string str() const;
+
+  /// Index of the variable for (phase, array); throws if absent.
+  [[nodiscard]] std::size_t varIndex(std::size_t phase, const std::string& array) const;
+
+ private:
+  friend Model buildModel(const lcg::LCG& lcg,
+                          const std::map<sym::SymbolId, std::int64_t>& params,
+                          std::int64_t processors, const CostParams& cp);
+
+  std::vector<Variable> vars_;
+  std::vector<EqualityConstraint> eqs_;   // locality + affinity
+  std::vector<StorageBound> bounds_;
+  std::vector<PhaseCostTerm> phaseCosts_;
+  std::vector<FrontierCostTerm> frontierCosts_;
+  double fixedCommCost_ = 0.0;  ///< C-edge costs (independent of the chunks)
+  std::int64_t processors_ = 1;
+  CostParams cp_;
+  std::vector<std::string> localityLabels_;  // rendered locality equations
+  std::vector<std::string> commLabels_;      // rendered C edges
+};
+
+/// Builds the model from a labelled LCG under numeric parameter bindings.
+[[nodiscard]] Model buildModel(const lcg::LCG& lcg,
+                               const std::map<sym::SymbolId, std::int64_t>& params,
+                               std::int64_t processors, const CostParams& cp);
+
+}  // namespace ad::ilp

@@ -1,0 +1,265 @@
+#include "ir/ir.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace ad::ir {
+
+// ---------------------------------------------------------------------------
+// Phase
+// ---------------------------------------------------------------------------
+
+Phase::Phase(std::string name, std::vector<Loop> loops, std::vector<ArrayRef> refs,
+             std::set<std::string> privatized, double workPerAccess)
+    : name_(std::move(name)),
+      loops_(std::move(loops)),
+      refs_(std::move(refs)),
+      privatized_(std::move(privatized)),
+      workPerAccess_(workPerAccess) {
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    if (!loops_[i].parallel) continue;
+    if (parallelLoop_.has_value()) {
+      throw ProgramError("phase '" + name_ + "' has more than one parallel loop");
+    }
+    parallelLoop_ = i;
+  }
+  std::set<sym::SymbolId> seen;
+  for (const auto& l : loops_) {
+    if (!seen.insert(l.index).second) {
+      throw ProgramError("phase '" + name_ + "' repeats a loop index");
+    }
+  }
+}
+
+std::size_t Phase::parallelLoopPos() const {
+  AD_REQUIRE(parallelLoop_.has_value(), "phase '" + name_ + "' has no parallel loop");
+  return *parallelLoop_;
+}
+
+std::vector<ArrayRef> Phase::refsTo(const std::string& array) const {
+  std::vector<ArrayRef> out;
+  std::copy_if(refs_.begin(), refs_.end(), std::back_inserter(out),
+               [&](const ArrayRef& r) { return r.array == array; });
+  return out;
+}
+
+bool Phase::accesses(const std::string& array) const {
+  return std::any_of(refs_.begin(), refs_.end(),
+                     [&](const ArrayRef& r) { return r.array == array; });
+}
+
+bool Phase::reads(const std::string& array) const {
+  return std::any_of(refs_.begin(), refs_.end(), [&](const ArrayRef& r) {
+    return r.array == array && r.kind == AccessKind::kRead;
+  });
+}
+
+bool Phase::writes(const std::string& array) const {
+  return std::any_of(refs_.begin(), refs_.end(), [&](const ArrayRef& r) {
+    return r.array == array && r.kind == AccessKind::kWrite;
+  });
+}
+
+sym::Assumptions Phase::assumptions(const sym::SymbolTable& table) const {
+  sym::Assumptions a(table);
+  for (const auto& l : loops_) {
+    a.setRange(l.index, l.lower, l.upper);
+    // Loops are assumed non-empty (the paper analyzes executed nests), which
+    // gives the analyzer facts like N - 3 >= 0 for a "do j = 1, N-2" loop.
+    a.addFact(l.upper - l.lower);
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+sym::Expr ArrayDecl::linearize(const std::vector<sym::Expr>& subscripts) const {
+  AD_REQUIRE(!subscripts.empty(), "reference to '" + name + "' needs a subscript");
+  if (subscripts.size() == 1) return subscripts[0];  // 1-D view of the raw memory
+  if (subscripts.size() != dims.size()) {
+    throw ProgramError("reference to '" + name + "' has " +
+                       std::to_string(subscripts.size()) + " subscripts but " +
+                       std::to_string(dims.size()) + " declared dimensions");
+  }
+  // Row-major: linear = (..(s0*d1 + s1)*d2 + s2)...
+  sym::Expr linear = subscripts[0];
+  for (std::size_t d = 1; d < subscripts.size(); ++d) {
+    linear = linear * dims[d] + subscripts[d];
+  }
+  return linear;
+}
+
+void Program::declareArray(std::string name, sym::Expr size) {
+  if (hasArray(name)) throw ProgramError("array '" + name + "' declared twice");
+  arrays_.push_back(ArrayDecl{std::move(name), std::move(size), {}});
+}
+
+void Program::declareArray(std::string name, std::vector<sym::Expr> dims) {
+  if (hasArray(name)) throw ProgramError("array '" + name + "' declared twice");
+  AD_REQUIRE(!dims.empty(), "array needs at least one dimension");
+  sym::Expr size = dims[0];
+  for (std::size_t d = 1; d < dims.size(); ++d) size = size * dims[d];
+  arrays_.push_back(ArrayDecl{std::move(name), std::move(size), std::move(dims)});
+}
+
+const ArrayDecl& Program::array(const std::string& name) const {
+  for (const auto& a : arrays_) {
+    if (a.name == name) return a;
+  }
+  throw ProgramError("unknown array '" + name + "'");
+}
+
+bool Program::hasArray(const std::string& name) const {
+  return std::any_of(arrays_.begin(), arrays_.end(),
+                     [&](const ArrayDecl& a) { return a.name == name; });
+}
+
+void Program::addPhase(Phase phase) { phases_.push_back(std::move(phase)); }
+
+const Phase& Program::phase(std::size_t k) const {
+  AD_REQUIRE(k < phases_.size(), "phase index out of range");
+  return phases_[k];
+}
+
+std::size_t Program::phaseIndex(const std::string& name) const {
+  for (std::size_t k = 0; k < phases_.size(); ++k) {
+    if (phases_[k].name() == name) return k;
+  }
+  throw ProgramError("unknown phase '" + name + "'");
+}
+
+void Program::validate() const {
+  for (const auto& ph : phases_) {
+    std::set<sym::SymbolId> indices;
+    for (const auto& l : ph.loops()) {
+      if (symbols_.kind(l.index) != sym::SymbolKind::kIndex) {
+        throw ProgramError("phase '" + ph.name() + "': loop variable '" +
+                           symbols_.name(l.index) + "' is not an index symbol");
+      }
+      // Bounds may reference parameters and *outer* indices only.
+      for (sym::SymbolId s : l.lower.freeSymbols()) {
+        if (symbols_.kind(s) == sym::SymbolKind::kIndex && indices.count(s) == 0) {
+          throw ProgramError("phase '" + ph.name() + "': loop bound uses inner/foreign index '" +
+                             symbols_.name(s) + "'");
+        }
+      }
+      for (sym::SymbolId s : l.upper.freeSymbols()) {
+        if (symbols_.kind(s) == sym::SymbolKind::kIndex && indices.count(s) == 0) {
+          throw ProgramError("phase '" + ph.name() + "': loop bound uses inner/foreign index '" +
+                             symbols_.name(s) + "'");
+        }
+      }
+      indices.insert(l.index);
+    }
+    for (const auto& r : ph.refs()) {
+      if (!hasArray(r.array)) {
+        throw ProgramError("phase '" + ph.name() + "' references undeclared array '" + r.array +
+                           "'");
+      }
+      for (sym::SymbolId s : r.subscript.freeSymbols()) {
+        if (symbols_.kind(s) == sym::SymbolKind::kIndex && indices.count(s) == 0) {
+          throw ProgramError("phase '" + ph.name() + "': subscript of '" + r.array +
+                             "' uses index '" + symbols_.name(s) + "' not bound by the nest");
+        }
+      }
+    }
+    for (const auto& a : ph.privatized()) {
+      if (!hasArray(a)) {
+        throw ProgramError("phase '" + ph.name() + "' privatizes undeclared array '" + a + "'");
+      }
+    }
+  }
+}
+
+std::string Program::str() const {
+  std::ostringstream os;
+  for (const auto& a : arrays_) {
+    os << "array " << a.name << "(" << a.size.str(symbols_) << ")\n";
+  }
+  for (const auto& ph : phases_) {
+    os << "phase " << ph.name();
+    if (!ph.privatized().empty()) {
+      os << "  [private:";
+      for (const auto& a : ph.privatized()) os << " " << a;
+      os << "]";
+    }
+    os << "\n";
+    std::string indent = "  ";
+    for (const auto& l : ph.loops()) {
+      os << indent << (l.parallel ? "doall " : "do ") << symbols_.name(l.index) << " = "
+         << l.lower.str(symbols_) << ", " << l.upper.str(symbols_) << "\n";
+      indent += "  ";
+    }
+    for (const auto& r : ph.refs()) {
+      os << indent << (r.kind == AccessKind::kWrite ? "write " : "read  ") << r.array << "("
+         << r.subscript.str(symbols_) << ")\n";
+    }
+  }
+  if (cyclic_) os << "(cyclic: control flow re-enters the first phase)\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// PhaseBuilder
+// ---------------------------------------------------------------------------
+
+PhaseBuilder::PhaseBuilder(Program& program, std::string name)
+    : program_(&program), name_(std::move(name)) {}
+
+PhaseBuilder& PhaseBuilder::loop(const std::string& index, sym::Expr lower, sym::Expr upper) {
+  const sym::SymbolId id = program_->symbols().index(index);
+  loops_.push_back(Loop{id, std::move(lower), std::move(upper), /*parallel=*/false});
+  return *this;
+}
+
+PhaseBuilder& PhaseBuilder::doall(const std::string& index, sym::Expr lower, sym::Expr upper) {
+  const sym::SymbolId id = program_->symbols().index(index);
+  loops_.push_back(Loop{id, std::move(lower), std::move(upper), /*parallel=*/true});
+  return *this;
+}
+
+PhaseBuilder& PhaseBuilder::read(const std::string& array, sym::Expr subscript) {
+  refs_.push_back(ArrayRef{array, std::move(subscript), AccessKind::kRead});
+  return *this;
+}
+
+PhaseBuilder& PhaseBuilder::write(const std::string& array, sym::Expr subscript) {
+  refs_.push_back(ArrayRef{array, std::move(subscript), AccessKind::kWrite});
+  return *this;
+}
+
+PhaseBuilder& PhaseBuilder::update(const std::string& array, sym::Expr subscript) {
+  refs_.push_back(ArrayRef{array, subscript, AccessKind::kRead});
+  refs_.push_back(ArrayRef{array, std::move(subscript), AccessKind::kWrite});
+  return *this;
+}
+
+PhaseBuilder& PhaseBuilder::privatize(const std::string& array) {
+  privatized_.insert(array);
+  return *this;
+}
+
+PhaseBuilder& PhaseBuilder::workPerAccess(double w) {
+  AD_REQUIRE(w > 0.0, "work per access must be positive");
+  workPerAccess_ = w;
+  return *this;
+}
+
+sym::Expr PhaseBuilder::idx(const std::string& index) const {
+  auto id = program_->symbols().lookup(index);
+  AD_REQUIRE(id.has_value(), "idx: unknown index '" + index + "'");
+  return sym::Expr::symbol(*id);
+}
+
+void PhaseBuilder::commit() {
+  AD_REQUIRE(!committed_, "PhaseBuilder::commit called twice");
+  committed_ = true;
+  program_->addPhase(Phase(name_, std::move(loops_), std::move(refs_), std::move(privatized_),
+                           workPerAccess_));
+}
+
+}  // namespace ad::ir

@@ -1,0 +1,176 @@
+// Loop-nest intermediate representation.
+//
+// A Program is the unit the paper analyzes: a sequence of *phases*, each a DO
+// loop nest with at most one parallel (DOALL) loop, accessing linearized
+// one-dimensional arrays. Loop bounds and subscripts are symbolic Exprs, so
+// non-affine forms (2^(L-1)*J, bounds depending on outer indices) are first
+// class. Phases appear in control-flow order; a program may be marked cyclic
+// (an outer sequential iteration re-entering the first phase), which is what
+// makes per-array LCG graphs cyclic.
+//
+// This IR is what a Polaris-style Fortran front end would produce after
+// normalization and array linearization; `frontend/` builds it from a small
+// Fortran-like source dialect and `PhaseBuilder` builds it programmatically.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.hpp"
+#include "symbolic/ranges.hpp"
+
+namespace ad::ir {
+
+enum class AccessKind { kRead, kWrite };
+
+/// A declared array. Multi-dimensional declarations are linearized row-major
+/// (last subscript fastest); the analysis always works on the linear form —
+/// which is exactly what lets different phases *reshape* the same memory
+/// (the paper's interprocedural-reshaping scenario).
+struct ArrayDecl {
+  std::string name;
+  sym::Expr size;               ///< total element count
+  std::vector<sym::Expr> dims;  ///< declared extents; empty for 1-D declarations
+
+  /// Row-major linearization of a full subscript list (one Expr per dim).
+  /// A single subscript is always accepted as a raw linear offset (the
+  /// "viewed as 1-D" reshape).
+  [[nodiscard]] sym::Expr linearize(const std::vector<sym::Expr>& subscripts) const;
+};
+
+/// One textual reference to an array inside a phase.
+struct ArrayRef {
+  std::string array;
+  sym::Expr subscript;  ///< linearized subscript over loop indices/parameters
+  AccessKind kind = AccessKind::kRead;
+};
+
+/// One loop of a nest, outermost first. Bounds are inclusive.
+struct Loop {
+  sym::SymbolId index = 0;
+  sym::Expr lower;
+  sym::Expr upper;
+  bool parallel = false;  ///< DOALL (marked by the parallelizer)
+};
+
+/// A DO loop nest with at most one level of parallelism.
+class Phase {
+ public:
+  Phase(std::string name, std::vector<Loop> loops, std::vector<ArrayRef> refs,
+        std::set<std::string> privatized, double workPerAccess = 1.0);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Loop>& loops() const noexcept { return loops_; }
+  [[nodiscard]] const std::vector<ArrayRef>& refs() const noexcept { return refs_; }
+  /// Arrays whose values are phase-local (the paper's attribute P).
+  [[nodiscard]] const std::set<std::string>& privatized() const noexcept { return privatized_; }
+  /// Relative compute weight of one array access (for the cost model).
+  [[nodiscard]] double workPerAccess() const noexcept { return workPerAccess_; }
+
+  [[nodiscard]] bool hasParallelLoop() const noexcept { return parallelLoop_.has_value(); }
+  /// Position of the parallel loop in loops(); requires hasParallelLoop().
+  [[nodiscard]] std::size_t parallelLoopPos() const;
+  [[nodiscard]] const Loop& parallelLoop() const { return loops_[parallelLoopPos()]; }
+
+  /// The references to one array (in textual order).
+  [[nodiscard]] std::vector<ArrayRef> refsTo(const std::string& array) const;
+  [[nodiscard]] bool accesses(const std::string& array) const;
+  [[nodiscard]] bool reads(const std::string& array) const;
+  [[nodiscard]] bool writes(const std::string& array) const;
+  [[nodiscard]] bool isPrivatized(const std::string& array) const {
+    return privatized_.count(array) != 0;
+  }
+
+  /// Index-range assumptions for this nest (loop bounds, outer-to-inner), on
+  /// top of the given table's parameter defaults.
+  [[nodiscard]] sym::Assumptions assumptions(const sym::SymbolTable& table) const;
+
+ private:
+  std::string name_;
+  std::vector<Loop> loops_;
+  std::vector<ArrayRef> refs_;
+  std::set<std::string> privatized_;
+  double workPerAccess_ = 1.0;
+  std::optional<std::size_t> parallelLoop_;
+};
+
+/// A whole analyzable program: shared symbol table, arrays, ordered phases.
+class Program {
+ public:
+  Program() = default;
+
+  [[nodiscard]] sym::SymbolTable& symbols() noexcept { return symbols_; }
+  [[nodiscard]] const sym::SymbolTable& symbols() const noexcept { return symbols_; }
+
+  void declareArray(std::string name, sym::Expr size);
+  /// Multi-dimensional declaration; total size is the product of extents.
+  void declareArray(std::string name, std::vector<sym::Expr> dims);
+  [[nodiscard]] const ArrayDecl& array(const std::string& name) const;
+  [[nodiscard]] bool hasArray(const std::string& name) const;
+  [[nodiscard]] const std::vector<ArrayDecl>& arrays() const noexcept { return arrays_; }
+
+  void addPhase(Phase phase);
+  [[nodiscard]] const std::vector<Phase>& phases() const noexcept { return phases_; }
+  [[nodiscard]] const Phase& phase(std::size_t k) const;
+  /// Index of the phase with the given name.
+  [[nodiscard]] std::size_t phaseIndex(const std::string& name) const;
+
+  /// Whether control flow loops back from the last phase to the first (an
+  /// enclosing sequential DO around all phases).
+  [[nodiscard]] bool cyclic() const noexcept { return cyclic_; }
+  void setCyclic(bool cyclic) noexcept { cyclic_ = cyclic; }
+
+  /// Validates the whole program (each phase well-formed, refs name declared
+  /// arrays, subscript symbols are indices of the nest or parameters).
+  /// Throws ProgramError on violations.
+  void validate() const;
+
+  /// Human-readable listing (loop structure + references), for examples.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  sym::SymbolTable symbols_;
+  std::vector<ArrayDecl> arrays_;
+  std::vector<Phase> phases_;
+  bool cyclic_ = false;
+};
+
+/// Fluent helper for building phases programmatically (tests and codes/).
+///
+///   PhaseBuilder b(program, "F3");
+///   b.doall("I", c(0), Q - c(1))
+///    .loop("L", c(1), p)
+///    .read("X", phi1).write("X", phi2)
+///    .privatize("Y")
+///    .commit();
+class PhaseBuilder {
+ public:
+  PhaseBuilder(Program& program, std::string name);
+
+  PhaseBuilder& loop(const std::string& index, sym::Expr lower, sym::Expr upper);
+  PhaseBuilder& doall(const std::string& index, sym::Expr lower, sym::Expr upper);
+  PhaseBuilder& read(const std::string& array, sym::Expr subscript);
+  PhaseBuilder& write(const std::string& array, sym::Expr subscript);
+  /// Read-modify-write shorthand: adds both a read and a write reference.
+  PhaseBuilder& update(const std::string& array, sym::Expr subscript);
+  PhaseBuilder& privatize(const std::string& array);
+  PhaseBuilder& workPerAccess(double w);
+  /// The Expr for a loop index declared earlier on this builder.
+  [[nodiscard]] sym::Expr idx(const std::string& index) const;
+
+  /// Appends the finished phase to the program.
+  void commit();
+
+ private:
+  Program* program_;
+  std::string name_;
+  std::vector<Loop> loops_;
+  std::vector<ArrayRef> refs_;
+  std::set<std::string> privatized_;
+  double workPerAccess_ = 1.0;
+  bool committed_ = false;
+};
+
+}  // namespace ad::ir

@@ -1,0 +1,90 @@
+#include "ir/walker.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/diagnostics.hpp"
+
+namespace ad::ir {
+
+namespace {
+
+std::int64_t evalInt(const sym::Expr& e, const Bindings& b, const char* what) {
+  const Rational r = e.evaluate(b);
+  if (!r.isInteger()) {
+    throw AnalysisError(std::string(what) + " does not evaluate to an integer");
+  }
+  return r.asInteger();
+}
+
+void walk(const Program& program, const Phase& phase, Bindings& b, std::size_t depth,
+          const std::function<void(const Bindings&)>& fn) {
+  if (depth == phase.loops().size()) {
+    fn(b);
+    return;
+  }
+  const Loop& l = phase.loops()[depth];
+  const std::int64_t lo = evalInt(l.lower, b, "loop lower bound");
+  const std::int64_t hi = evalInt(l.upper, b, "loop upper bound");
+  for (std::int64_t v = lo; v <= hi; ++v) {
+    b[l.index] = v;
+    walk(program, phase, b, depth + 1, fn);
+  }
+  b.erase(l.index);
+}
+
+}  // namespace
+
+void forEachIteration(const Program& program, const Phase& phase, const Bindings& params,
+                      const std::function<void(const Bindings&)>& fn) {
+  Bindings b = params;
+  walk(program, phase, b, 0, fn);
+}
+
+void forEachAccess(const Program& program, const Phase& phase, const Bindings& params,
+                   const std::function<void(const ConcreteAccess&, const Bindings&)>& fn) {
+  const bool hasPar = phase.hasParallelLoop();
+  const sym::SymbolId parIdx = hasPar ? phase.parallelLoop().index : 0;
+  forEachIteration(program, phase, params, [&](const Bindings& b) {
+    for (const auto& r : phase.refs()) {
+      ConcreteAccess acc;
+      acc.ref = &r;
+      acc.address = evalInt(r.subscript, b, "subscript");
+      acc.parallelIter = hasPar ? b.at(parIdx) : 0;
+      fn(acc, b);
+    }
+  });
+}
+
+std::vector<std::int64_t> touchedAddresses(const Program& program, const Phase& phase,
+                                           const std::string& array, const Bindings& params) {
+  std::set<std::int64_t> s;
+  forEachAccess(program, phase, params, [&](const ConcreteAccess& a, const Bindings&) {
+    if (a.ref->array == array) s.insert(a.address);
+  });
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::int64_t> touchedAddressesInIteration(const Program& program, const Phase& phase,
+                                                      const std::string& array,
+                                                      const Bindings& params, std::int64_t iter) {
+  AD_REQUIRE(phase.hasParallelLoop(), "phase has no parallel loop");
+  std::set<std::int64_t> s;
+  forEachAccess(program, phase, params, [&](const ConcreteAccess& a, const Bindings&) {
+    if (a.ref->array == array && a.parallelIter == iter) s.insert(a.address);
+  });
+  return {s.begin(), s.end()};
+}
+
+std::int64_t parallelTripCount(const Phase& phase, const Bindings& params) {
+  if (!phase.hasParallelLoop()) return 1;
+  const Loop& l = phase.parallelLoop();
+  // The parallel loop is outermost-of-its-kind; its bounds may only reference
+  // parameters and outer sequential indices. We require parameter-only bounds
+  // here (true for every code in the suite).
+  const std::int64_t lo = l.lower.evaluate(params).asInteger();
+  const std::int64_t hi = l.upper.evaluate(params).asInteger();
+  return std::max<std::int64_t>(0, hi - lo + 1);
+}
+
+}  // namespace ad::ir

@@ -1,0 +1,147 @@
+#include "lcg/lcg.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/string_utils.hpp"
+
+namespace ad::lcg {
+
+std::vector<std::vector<std::size_t>> ArrayGraph::chains() const {
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> current;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    current.push_back(n);
+    const bool lastNode = n + 1 == nodes.size();
+    // The forward edge out of node n (ignore the back edge for chains).
+    const bool chainContinues =
+        !lastNode && n < edges.size() && edges[n].label == loc::EdgeLabel::kLocal;
+    if (!chainContinues) {
+      out.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  return out;
+}
+
+const ArrayGraph& LCG::graph(const std::string& array) const {
+  for (const auto& g : graphs_) {
+    if (g.array == array) return g;
+  }
+  throw ProgramError("LCG has no graph for array '" + array + "'");
+}
+
+std::size_t LCG::communicationEdges() const {
+  std::size_t n = 0;
+  for (const auto& g : graphs_) {
+    for (const auto& e : g.edges) {
+      if (e.label == loc::EdgeLabel::kComm) ++n;
+    }
+  }
+  return n;
+}
+
+std::string LCG::str() const {
+  std::ostringstream os;
+  // Header.
+  os << padRight("phase", 20);
+  for (const auto& g : graphs_) os << padLeft(g.array, 10);
+  os << "\n";
+  // For each program phase, the attribute per array, then the edge labels.
+  for (std::size_t k = 0; k < program_->phases().size(); ++k) {
+    os << padRight("F" + std::to_string(k + 1) + ":" + program_->phase(k).name(), 20);
+    for (const auto& g : graphs_) {
+      std::string cell = "-";
+      for (const auto& n : g.nodes) {
+        if (n.phase == k) cell = std::string("(") + loc::attrName(n.attr) + ")";
+      }
+      os << padLeft(cell, 10);
+    }
+    os << "\n";
+    // Edge labels between this phase row and the next.
+    std::string labelRow;
+    bool any = false;
+    for (const auto& g : graphs_) {
+      std::string cell;
+      for (std::size_t e = 0; e < g.edges.size(); ++e) {
+        if (g.edges[e].backEdge) continue;
+        if (g.nodes[g.edges[e].from].phase == k) {
+          cell = loc::edgeLabelName(g.edges[e].label);
+          any = true;
+        }
+      }
+      labelRow += padLeft(cell.empty() ? " " : "|" + cell, 10);
+    }
+    if (any) os << padRight("", 20) << labelRow << "\n";
+  }
+  return os.str();
+}
+
+std::string LCG::dot() const {
+  std::ostringstream os;
+  os << "digraph LCG {\n  rankdir=TB;\n";
+  for (const auto& g : graphs_) {
+    os << "  subgraph cluster_" << g.array << " {\n    label=\"" << g.array << "\";\n";
+    for (std::size_t n = 0; n < g.nodes.size(); ++n) {
+      os << "    " << g.array << n << " [label=\"F" << (g.nodes[n].phase + 1) << " ("
+         << loc::attrName(g.nodes[n].attr) << ")\"];\n";
+    }
+    for (const auto& e : g.edges) {
+      os << "    " << g.array << e.from << " -> " << g.array << e.to << " [label=\""
+         << loc::edgeLabelName(e.label) << "\"";
+      if (e.label == loc::EdgeLabel::kUncoupled) os << ", style=dashed";
+      if (e.backEdge) os << ", constraint=false";
+      os << "];\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+LCG buildLCG(const ir::Program& program, const std::map<sym::SymbolId, std::int64_t>& params,
+             std::int64_t processors) {
+  std::vector<ArrayGraph> graphs;
+  for (const auto& arr : program.arrays()) {
+    ArrayGraph g;
+    g.array = arr.name;
+    for (std::size_t k = 0; k < program.phases().size(); ++k) {
+      if (!program.phase(k).accesses(arr.name) && !program.phase(k).isPrivatized(arr.name)) {
+        continue;
+      }
+      Node node;
+      node.phase = k;
+      node.info = loc::analyzePhaseArray(program, k, arr.name);
+      node.attr = node.info.attr;
+      g.nodes.push_back(std::move(node));
+    }
+    const auto addEdge = [&](std::size_t from, std::size_t to, bool back) {
+      Edge e;
+      e.from = from;
+      e.to = to;
+      e.backEdge = back;
+      const auto& ni = g.nodes[from].info;
+      const auto& nj = g.nodes[to].info;
+      e.condition = loc::makeBalancedCondition(ni, nj);
+      bool balanced = false;
+      if (e.condition) {
+        try {
+          balanced = e.condition->holds(params, processors);
+        } catch (const AnalysisError&) {
+          balanced = false;  // unevaluable condition: conservatively C
+        }
+      }
+      // Unknown overlap is conservatively treated as overlapping.
+      const bool overlapK = ni.overlap.value_or(true);
+      e.label = loc::classifyEdge(ni.attr, nj.attr, overlapK, balanced);
+      g.edges.push_back(std::move(e));
+    };
+    for (std::size_t n = 0; n + 1 < g.nodes.size(); ++n) addEdge(n, n + 1, false);
+    if (program.cyclic() && g.nodes.size() > 1) addEdge(g.nodes.size() - 1, 0, true);
+    if (!g.nodes.empty()) graphs.push_back(std::move(g));
+  }
+  return LCG(&program, std::move(graphs));
+}
+
+}  // namespace ad::lcg

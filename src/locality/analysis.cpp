@@ -1,0 +1,383 @@
+#include "locality/analysis.hpp"
+
+#include <sstream>
+
+#include "support/checked_int.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ad::loc {
+
+using sym::Expr;
+
+const char* attrName(Attr a) {
+  switch (a) {
+    case Attr::kRead:
+      return "R";
+    case Attr::kWrite:
+      return "W";
+    case Attr::kReadWrite:
+      return "R/W";
+    case Attr::kPrivatized:
+      return "P";
+  }
+  AD_UNREACHABLE("bad Attr");
+}
+
+Attr attributeOf(const ir::Phase& phase, const std::string& array) {
+  if (phase.isPrivatized(array)) return Attr::kPrivatized;
+  const bool r = phase.reads(array);
+  const bool w = phase.writes(array);
+  AD_REQUIRE(r || w, "phase '" + phase.name() + "' does not access '" + array + "'");
+  if (r && w) return Attr::kReadWrite;
+  return r ? Attr::kRead : Attr::kWrite;
+}
+
+const char* edgeLabelName(EdgeLabel l) {
+  switch (l) {
+    case EdgeLabel::kLocal:
+      return "L";
+    case EdgeLabel::kComm:
+      return "C";
+    case EdgeLabel::kUncoupled:
+      return "D";
+  }
+  AD_UNREACHABLE("bad EdgeLabel");
+}
+
+// ---------------------------------------------------------------------------
+// Per-(phase, array) analysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// |deltaP| of a term, with a provable sign. nullopt if indeterminate.
+std::optional<Expr> absDeltaP(const Expr& deltaP, const sym::RangeAnalyzer& ra) {
+  if (ra.proveNonNegative(deltaP)) return deltaP;
+  if (ra.proveNonPositive(deltaP)) return -deltaP;
+  return std::nullopt;
+}
+
+std::optional<BalancedSide> computeSide(const desc::PDTerm& primary, bool overlap,
+                                        const std::optional<Expr>& overlapDist,
+                                        const sym::RangeAnalyzer& ra) {
+  if (!primary.hasParallel || primary.deltaP.isZero()) {
+    // No parallel advance: the "region per chunk" is constant; model as
+    // slope 0 so the balanced condition degenerates to offset equality.
+    return BalancedSide{Expr(), primary.seqMax, Expr()};
+  }
+  const auto a = absDeltaP(primary.deltaP, ra);
+  if (!a) return std::nullopt;
+  if (overlap) {
+    // Overlapping storage: the halo beyond the owned core is replicated
+    // (Theorem 1c), so the balanced condition compares the cores — |a|
+    // addresses per iteration starting at seqMin — and tolerates core
+    // misalignment up to the replicated halo width:
+    // side(n) = a*n + seqMin - 1  (mod +-Delta_s).
+    if (!overlapDist) return std::nullopt;  // unknown halo: conservative
+    return BalancedSide{*a, primary.seqMin - Expr::constant(1), *overlapDist};
+  }
+  // h = max(0, |a| - span - 1); needs a provable sign to pick the branch.
+  const Expr slack = *a - primary.seqSpan() - Expr::constant(1);
+  Expr h;
+  if (ra.proveNonNegative(slack)) {
+    h = slack;
+  } else if (ra.proveNonPositive(slack)) {
+    h = Expr();
+  } else {
+    return std::nullopt;
+  }
+  // side(n) = UL(chunk n) + h = a*(n-1) + seqMax + h = a*n + (seqMax - a + h).
+  // The memory gap doubles as alignment slack: the region end can sit
+  // anywhere within the gap and stay inside its iteration tile.
+  return BalancedSide{*a, primary.seqMax - *a + h, h};
+}
+
+std::vector<StorageConstraint> computeStorage(const desc::IterationDescriptor& id,
+                                              const sym::RangeAnalyzer& ra) {
+  std::vector<StorageConstraint> out;
+  for (std::size_t j = 1; j < id.terms().size(); ++j) {
+    const auto s = id.symmetry(0, j, ra);
+    if (s.shifted) {
+      out.push_back(StorageConstraint{StorageConstraint::Kind::kShifted, *s.shifted});
+    } else if (s.reverse) {
+      out.push_back(StorageConstraint{StorageConstraint::Kind::kReverse, *s.reverse});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PhaseArrayInfo analyzePhaseArray(const ir::Program& program, std::size_t phaseIdx,
+                                 const std::string& array) {
+  const ir::Phase& phase = program.phase(phaseIdx);
+  const sym::Assumptions assumptions = phase.assumptions(program.symbols());
+  const sym::RangeAnalyzer ra(assumptions);
+
+  auto pd = desc::buildPhaseDescriptor(program, phaseIdx, array);
+  desc::coalesceStrides(pd, ra);
+  desc::unionTerms(pd, ra);
+  auto id = desc::buildIterationDescriptor(pd);
+
+  PhaseArrayInfo info{phaseIdx,
+                      array,
+                      attributeOf(phase, array),
+                      pd,
+                      id,
+                      id.hasOverlap(ra),
+                      id.overlapDistance(ra),
+                      std::nullopt,
+                      computeStorage(id, ra),
+                      Expr()};
+  if (!pd.terms().empty() && info.overlap.has_value()) {
+    info.side = computeSide(pd.terms().front(), *info.overlap, info.overlapDistance, ra);
+  }
+  if (phase.hasParallelLoop()) {
+    const auto& par = phase.parallelLoop();
+    info.parallelTrip = par.upper - par.lower + Expr::constant(1);
+  } else {
+    info.parallelTrip = Expr::constant(1);
+  }
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Balanced condition
+// ---------------------------------------------------------------------------
+
+std::optional<BalancedCondition> makeBalancedCondition(const PhaseArrayInfo& k,
+                                                       const PhaseArrayInfo& g) {
+  if (!k.side || !g.side) return std::nullopt;
+  // Each side's slack (halo or gap) absorbs misalignment independently.
+  const Expr tol = k.side->tolerance + g.side->tolerance;
+  return BalancedCondition{k.side->slope,  k.side->offset, k.parallelTrip,
+                           g.side->slope,  g.side->offset, g.parallelTrip, tol};
+}
+
+std::string BalancedCondition::render(const sym::SymbolTable& table, const std::string& pk,
+                                      const std::string& pg) const {
+  // slopeK*pk + (offsetK - offsetG) = slopeG*pg, paper style (Eq. 4 keeps the
+  // constant on the left).
+  std::ostringstream os;
+  const Expr c = offsetK - offsetG;
+  const auto coefStr = [&](const Expr& e) {
+    if (auto v = e.asInteger(); v && *v == 1) return std::string();
+    return e.str(table) + "*";
+  };
+  if (slopeK.isZero()) {
+    os << "0";
+  } else {
+    os << coefStr(slopeK) << pk;
+  }
+  if (!c.isZero()) os << " + " << c.str(table);
+  os << " = ";
+  if (slopeG.isZero()) {
+    os << "0";
+  } else {
+    os << coefStr(slopeG) << pg;
+  }
+  return os.str();
+}
+
+sym::DiophantineFamily BalancedCondition::solve(
+    const std::map<sym::SymbolId, std::int64_t>& params, std::int64_t processors) const {
+  AD_REQUIRE(processors >= 1, "need at least one processor");
+  const auto evalInt = [&](const Expr& e, const char* what) {
+    const Rational r = e.evaluate(params);
+    if (!r.isInteger()) throw AnalysisError(std::string(what) + " is not integral");
+    return r.asInteger();
+  };
+  const std::int64_t aK = evalInt(slopeK, "slope of F_k");
+  const std::int64_t aG = evalInt(slopeG, "slope of F_g");
+  const std::int64_t c = evalInt(offsetG - offsetK, "offset difference");
+  const std::int64_t tol = tolerance.isZero() ? 0 : evalInt(tolerance, "tolerance");
+  const std::int64_t bK = ceilDiv(evalInt(tripK, "trip count of F_k"), processors);
+  const std::int64_t bG = ceilDiv(evalInt(tripG, "trip count of F_g"), processors);
+  sym::DiophantineFamily none;
+  if (bK < 1 || bG < 1) return none;
+
+  const auto singleton = [](std::int64_t x, std::int64_t y) {
+    sym::DiophantineFamily fam;
+    fam.x0 = x;
+    fam.y0 = y;
+    fam.xStep = 0;
+    fam.yStep = 0;
+    fam.tLo = 0;
+    fam.tHi = 0;
+    return fam;
+  };
+
+  if (aK == 0 && aG == 0) {
+    // Degenerate: both regions are fixed; balanced iff identical (mod halo).
+    if (c >= -tol && c <= tol) return singleton(1, 1);
+    return none;
+  }
+  if (aK == 0 || aG == 0) {
+    // One fixed region: p on the other side must make up the difference
+    // within the halo slack.
+    const std::int64_t a = aK == 0 ? aG : aK;
+    const std::int64_t rhs = aK == 0 ? -c : c;
+    const std::int64_t bound = aK == 0 ? bG : bK;
+    for (std::int64_t cc = rhs - tol; cc <= rhs + tol; ++cc) {
+      if (cc % a != 0) continue;
+      const std::int64_t pv = cc / a;
+      if (pv < 1 || pv > bound) continue;
+      return aK == 0 ? singleton(1, pv) : singleton(pv, 1);
+    }
+    return none;
+  }
+  // aK*pk - aG*pg = c' for some c' within the halo tolerance of c. Values of
+  // the left side form the gcd lattice, so only multiples of g can match;
+  // candidates are tried nearest-to-exact first so that chains of edges pick
+  // mutually consistent offsets.
+  const std::int64_t g = gcd64(aK, aG);
+  const std::int64_t base = checkedMul(g, floorDiv(c + g / 2, g));  // nearest multiple of g
+  for (std::int64_t k = 0;; ++k) {
+    bool anyInWindow = false;
+    for (const std::int64_t cc : {base + g * k, base - g * k}) {
+      if (cc < c - tol || cc > c + tol) continue;
+      anyInWindow = true;
+      const auto fam = sym::solveLinear2(aK, aG, cc, {1, bK}, {1, bG});
+      if (fam.feasible()) return fam;
+      if (k == 0) break;  // +0 and -0 are the same candidate
+    }
+    if (!anyInWindow && g * k > tol + g) break;
+  }
+  return none;
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1
+// ---------------------------------------------------------------------------
+
+const char* intraPhaseName(IntraPhase v) {
+  switch (v) {
+    case IntraPhase::kLocal:
+      return "local";
+    case IntraPhase::kLocalReplicated:
+      return "local (replicated overlap)";
+    case IntraPhase::kNeedsUpdates:
+      return "needs update communication";
+    case IntraPhase::kUnknown:
+      return "unknown (conservative)";
+  }
+  AD_UNREACHABLE("bad IntraPhase");
+}
+
+IntraPhase intraPhaseLocality(const PhaseArrayInfo& info) {
+  // (a) privatizable: each processor works on its own copy.
+  if (info.attr == Attr::kPrivatized) return IntraPhase::kLocal;
+  // (b) non-privatizable without overlapping storage.
+  if (info.overlap.has_value() && !*info.overlap) return IntraPhase::kLocal;
+  if (!info.overlap.has_value()) return IntraPhase::kUnknown;
+  // (c) overlapping storage: reads only leave the replicas consistent.
+  if (info.attr == Attr::kRead) return IntraPhase::kLocalReplicated;
+  return IntraPhase::kNeedsUpdates;
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic solve (the paper's Eq. 4 manipulation)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Rebuild a monomial as an Expr (mirrors the helper in ranges.cpp).
+Expr monomialAsExpr(const sym::Monomial& m) {
+  Expr e = Expr::constant(m.coeff());
+  for (const auto& f : m.symbols()) {
+    for (int i = 0; i < f.power; ++i) e *= Expr::symbol(f.id);
+  }
+  if (m.hasPow2()) e *= Expr::pow2(m.pow2Exponent());
+  return e;
+}
+
+/// ceil(num / den) for a provably positive symbolic den: candidates are
+/// built by dropping the fractional-coefficient monomials of the exact
+/// quotient and verified with the range analyzer.
+std::optional<Expr> symbolicCeilDiv(const Expr& num, const Expr& den,
+                                    const sym::RangeAnalyzer& ra) {
+  if (!ra.provePositive(den)) return std::nullopt;
+  const auto q = Expr::divideExact(num, den);
+  if (!q) return std::nullopt;
+  if (ra.proveIntegerValued(*q)) return q;
+  Expr base;
+  for (const auto& m : q->terms()) {
+    if (m.coeff().isInteger()) base += monomialAsExpr(m);
+  }
+  for (std::int64_t k = -1; k <= 2; ++k) {
+    const Expr cand = base + Expr::constant(k);
+    // cand == ceil(num/den)  <=>  den*cand >= num  and  den*(cand-1) < num.
+    if (ra.proveLE(num, den * cand) &&
+        ra.proveLT(den * (cand - Expr::constant(1)), num)) {
+      return cand;
+    }
+  }
+  return std::nullopt;
+}
+
+/// max(1, e), decided symbolically.
+std::optional<Expr> atLeastOne(const Expr& e, const sym::RangeAnalyzer& ra) {
+  if (ra.proveLE(Expr::constant(1), e)) return e;
+  if (ra.proveLE(e, Expr::constant(1))) return Expr::constant(1);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<BalancedCondition::SymbolicFamily> BalancedCondition::solveSymbolic(
+    const sym::RangeAnalyzer& ra) const {
+  const Expr c = offsetG - offsetK;
+  if (slopeK.isZero() || slopeG.isZero()) return std::nullopt;
+
+  // Orientation 1: slopeK divides slopeG — pk = r*t + c/slopeK, pg = t.
+  if (auto r = Expr::divideExact(slopeG, slopeK);
+      r && ra.proveIntegerValued(*r) && ra.provePositive(*r)) {
+    const auto cK = Expr::divideExact(c, slopeK);
+    if (cK && ra.proveIntegerValued(*cK)) {
+      // t >= ceil((1 - cK)/r) keeps pk >= 1.
+      const auto tlo = symbolicCeilDiv(Expr::constant(1) - *cK, *r, ra);
+      if (tlo) {
+        if (const auto tmin = atLeastOne(*tlo, ra)) {
+          return SymbolicFamily{*r * *tmin + *cK, *tmin, *r, Expr::constant(1)};
+        }
+      }
+    }
+  }
+  // Orientation 2: slopeG divides slopeK — pk = t, pg = r*t - c/slopeG.
+  if (auto r = Expr::divideExact(slopeK, slopeG);
+      r && ra.proveIntegerValued(*r) && ra.provePositive(*r)) {
+    const auto cG = Expr::divideExact(c, slopeG);
+    if (cG && ra.proveIntegerValued(*cG)) {
+      const auto tlo = symbolicCeilDiv(Expr::constant(1) + *cG, *r, ra);
+      if (tlo) {
+        if (const auto tmin = atLeastOne(*tlo, ra)) {
+          return SymbolicFamily{*tmin, *r * *tmin - *cG, Expr::constant(1), *r};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 classifier
+// ---------------------------------------------------------------------------
+
+EdgeLabel classifyEdge(Attr attrK, Attr attrG, bool overlapK, bool balanced) {
+  const bool kPriv = attrK == Attr::kPrivatized;
+  const bool gPriv = attrG == Attr::kPrivatized;
+  if (kPriv || gPriv) {
+    // Un-coupled (D) in every case except a write phase with overlapping
+    // storage feeding a privatizing phase: the replicated overlap regions
+    // would hold stale values and must be reconciled (Table 1 row W-P).
+    if (!kPriv && attrK == Attr::kWrite && overlapK) return EdgeLabel::kComm;
+    return EdgeLabel::kUncoupled;
+  }
+  // A writing phase with overlapping storage cannot satisfy the intra-phase
+  // locality condition (Theorem 1c requires read-only overlap), so every
+  // outgoing edge communicates.
+  if (attrK == Attr::kWrite && overlapK) return EdgeLabel::kComm;
+  return balanced ? EdgeLabel::kLocal : EdgeLabel::kComm;
+}
+
+}  // namespace ad::loc

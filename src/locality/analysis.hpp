@@ -1,0 +1,148 @@
+// Memory-access locality analysis (Section 4).
+//
+// For every (phase, array) pair this module derives the node attribute
+// (R / W / R/W / P), the simplified descriptors, the overlap predicate
+// (exists Delta_s), the linear "balanced side" used by the balanced locality
+// condition of Eq. 1, and the storage-symmetry distances that become the
+// Delta_d / Delta_r constraints of Table 2.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "descriptors/iteration_descriptor.hpp"
+#include "descriptors/phase_descriptor.hpp"
+#include "symbolic/diophantine.hpp"
+
+namespace ad::loc {
+
+/// Node attribute of an array in a phase (paper Section 4).
+enum class Attr { kRead, kWrite, kReadWrite, kPrivatized };
+
+[[nodiscard]] const char* attrName(Attr a);
+
+/// Attribute of `array` in `phase` (P overrides R/W marking).
+[[nodiscard]] Attr attributeOf(const ir::Phase& phase, const std::string& array);
+
+/// One storage-symmetry constraint relative to the primary access pattern:
+/// the ILP emits chunk*H <= distance (shifted) or chunk*H <= distance/2
+/// (reverse), as in Table 2.
+struct StorageConstraint {
+  enum class Kind { kShifted, kReverse };
+  Kind kind = Kind::kShifted;
+  sym::Expr distance;  ///< Delta_d or Delta_r
+};
+
+/// The linear form UL(chunk of size n) + h = slope*n + offset for an array in
+/// a phase (the building block of the balanced locality condition, Eq. 1).
+/// Derived from the primary (first) descriptor term:
+///   slope = |deltaP|, offset = seqMax - |deltaP| + h,
+///   h = max(0, |deltaP| - span - 1).
+struct BalancedSide {
+  sym::Expr slope;
+  sym::Expr offset;
+  /// Alignment slack: when the phase has overlapping storage, the replicated
+  /// halo (width Delta_s) absorbs core misalignments up to this amount, so
+  /// the balanced equation holds modulo +-tolerance. Zero for exact regions.
+  sym::Expr tolerance;
+
+  [[nodiscard]] sym::Expr at(const sym::Expr& n) const { return slope * n + offset; }
+};
+
+/// Everything the LCG/ILP stages need to know about one (phase, array) pair.
+struct PhaseArrayInfo {
+  std::size_t phase = 0;
+  std::string array;
+  Attr attr = Attr::kRead;
+  desc::PhaseDescriptor pd;     ///< simplified (coalesced + unioned)
+  desc::IterationDescriptor id;
+  /// exists Delta_s? nullopt = indeterminate (treated as "may overlap").
+  std::optional<bool> overlap;
+  /// The overlap width Delta_s when it exists and is provable.
+  std::optional<sym::Expr> overlapDistance;
+  /// nullopt when the descriptor has no usable linear form (then every
+  /// incident edge is conservatively C).
+  std::optional<BalancedSide> side;
+  std::vector<StorageConstraint> storage;
+  /// Trip count of the phase's parallel loop (upper-bound expression u+1).
+  sym::Expr parallelTrip;
+};
+
+/// Runs descriptor construction + simplification + locality quantities for
+/// one (phase, array) pair.
+[[nodiscard]] PhaseArrayInfo analyzePhaseArray(const ir::Program& program, std::size_t phaseIdx,
+                                               const std::string& array);
+
+/// The balanced locality condition between phases F_k and F_g for one array:
+///     slopeK * p_k + offsetK == slopeG * p_g + offsetG        (Eq. 1)
+///     1 <= p_k <= ceil(tripK / H), 1 <= p_g <= ceil(tripG / H) (Eqs. 2-3)
+struct BalancedCondition {
+  sym::Expr slopeK, offsetK, tripK;
+  sym::Expr slopeG, offsetG, tripG;
+  sym::Expr tolerance;  ///< halo slack: Eq. 1 holds modulo +-tolerance
+
+  /// Paper-style rendering "p_k + 2*P*Q - P = 2*P*p_g" (constant parts of the
+  /// two offsets folded left).
+  [[nodiscard]] std::string render(const sym::SymbolTable& table, const std::string& pk,
+                                   const std::string& pg) const;
+
+  /// Numeric solve under parameter bindings and H processors. The returned
+  /// family enumerates all (p_k, p_g) chunk pairs satisfying Eqs. 1-3.
+  [[nodiscard]] sym::DiophantineFamily solve(
+      const std::map<sym::SymbolId, std::int64_t>& params, std::int64_t processors) const;
+
+  /// Feasibility shortcut.
+  [[nodiscard]] bool holds(const std::map<sym::SymbolId, std::int64_t>& params,
+                           std::int64_t processors) const {
+    return solve(params, processors).feasible();
+  }
+
+  /// A symbolic one-parameter solution family of Eq. 1:
+  ///   p_k = pk0 + pkStep * t,  p_g = pg0 + pgStep * t   (integer t >= 0),
+  /// ignoring the load-balance bounds (which are what Eqs. 2-3 then test —
+  /// the paper's F2-F3 discussion derives exactly such a family, p2 = P,
+  /// p3 = Q, before rejecting it against the bounds).
+  struct SymbolicFamily {
+    sym::Expr pk0, pg0;
+    sym::Expr pkStep, pgStep;
+  };
+
+  /// Symbolic solve attempt; requires one slope to divide the other exactly
+  /// and the smallest positive solution to be derivable by the range
+  /// analyzer. nullopt when outside that (common) class.
+  [[nodiscard]] std::optional<SymbolicFamily> solveSymbolic(
+      const sym::RangeAnalyzer& ra) const;
+};
+
+/// Builds the balanced condition from two analyzed sides. nullopt when either
+/// side is unusable.
+[[nodiscard]] std::optional<BalancedCondition> makeBalancedCondition(const PhaseArrayInfo& k,
+                                                                     const PhaseArrayInfo& g);
+
+/// Theorem 1 — intra-phase locality. Given an iteration/data placement that
+/// stores each iteration's ID locally, are all accesses local?
+enum class IntraPhase {
+  kLocal,            ///< case (a) privatizable or (b) no overlapping storage
+  kLocalReplicated,  ///< case (c): overlap, reads only — replicas suffice
+  kNeedsUpdates,     ///< overlap with writes: replicas need reconciliation
+  kUnknown,          ///< overlap indeterminable: treat as kNeedsUpdates
+};
+
+[[nodiscard]] const char* intraPhaseName(IntraPhase v);
+
+/// Applies Theorem 1 to an analyzed (phase, array) pair.
+[[nodiscard]] IntraPhase intraPhaseLocality(const PhaseArrayInfo& info);
+
+/// Edge labels of the LCG (Table 1).
+enum class EdgeLabel { kLocal, kComm, kUncoupled };
+
+[[nodiscard]] const char* edgeLabelName(EdgeLabel l);
+
+/// The Table 1 classification: given the two node attributes, whether phase
+/// F_k shows overlapping storage, and whether the balanced locality condition
+/// holds, returns the LCG edge label. This reproduces all 60 cells of the
+/// paper's Table 1 (see bench/table1_classification).
+[[nodiscard]] EdgeLabel classifyEdge(Attr attrK, Attr attrG, bool overlapK, bool balanced);
+
+}  // namespace ad::loc

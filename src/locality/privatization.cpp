@@ -1,0 +1,72 @@
+#include "locality/privatization.hpp"
+
+#include <set>
+
+#include "support/diagnostics.hpp"
+
+namespace ad::loc {
+
+namespace {
+
+/// (a) no exposed reads: within each parallel iteration, reads only touch
+/// addresses previously written by the same iteration.
+bool noExposedReads(const ir::Program& program, const ir::Phase& phase,
+                    const std::string& array, const ir::Bindings& params) {
+  bool exposed = false;
+  std::int64_t currentIter = -1;
+  std::set<std::int64_t> written;
+  ir::forEachAccess(program, phase, params,
+                    [&](const ir::ConcreteAccess& acc, const ir::Bindings&) {
+    if (exposed || acc.ref->array != array) return;
+    if (acc.parallelIter != currentIter) {
+      currentIter = acc.parallelIter;
+      written.clear();
+    }
+    if (acc.ref->kind == ir::AccessKind::kWrite) {
+      written.insert(acc.address);
+    } else if (!written.count(acc.address)) {
+      exposed = true;
+    }
+  });
+  return !exposed;
+}
+
+/// (b) dead after the phase: the next real use of the array (walking
+/// forward, wrapping when cyclic but excluding the phase itself — its own
+/// next-cycle reads are covered by condition (a)) writes without reading.
+/// In a non-cyclic program an array nobody rewrites is a program output and
+/// therefore live.
+bool deadAfter(const ir::Program& program, std::size_t phase, const std::string& array) {
+  const std::size_t n = program.phases().size();
+  const std::size_t limit = program.cyclic() ? n - 1 : n - phase - 1;
+  for (std::size_t step = 1; step <= limit; ++step) {
+    const ir::Phase& ph = program.phase((phase + step) % n);
+    if (ph.isPrivatized(array)) continue;  // scratch use: not a real consumer
+    if (!ph.accesses(array)) continue;
+    return !ph.reads(array);
+  }
+  // Never used again: dead for cyclic programs (the wrap already covered
+  // every phase), a live program output otherwise.
+  return program.cyclic();
+}
+
+}  // namespace
+
+bool inferPrivatizable(const ir::Program& program, std::size_t phase, const std::string& array,
+                       const ir::Bindings& params) {
+  const ir::Phase& ph = program.phase(phase);
+  if (!ph.accesses(array)) return false;
+  if (!ph.writes(array)) return false;  // nothing produced locally
+  return noExposedReads(program, ph, array, params) && deadAfter(program, phase, array);
+}
+
+std::vector<std::string> unjustifiedPrivatizations(const ir::Program& program, std::size_t phase,
+                                                   const ir::Bindings& params) {
+  std::vector<std::string> bad;
+  for (const auto& name : program.phase(phase).privatized()) {
+    if (!inferPrivatizable(program, phase, name, params)) bad.push_back(name);
+  }
+  return bad;
+}
+
+}  // namespace ad::loc

@@ -1,0 +1,34 @@
+// Privatization inference.
+//
+// The paper takes privatizable-array marking from the Polaris analyses of
+// [10], restricted so that the array's value is dead after the phase. This
+// module provides the equivalent check over the IR, evaluated exactly under
+// concrete parameter bindings (the same replay machinery the property tests
+// use): an array X is privatizable in phase F_k iff
+//
+//   (a) within every parallel iteration of F_k, each read of X happens at an
+//       address that iteration has already written (no exposed reads), and
+//   (b) the value of X is not live after F_k: walking forward (wrapping for
+//       cyclic programs), the next phase that really uses X writes it before
+//       reading any element F_k produced.
+//
+// Condition (b) is checked conservatively: the next accessing phase must be
+// write-only on X (or privatize X itself).
+#pragma once
+
+#include "ir/walker.hpp"
+
+namespace ad::loc {
+
+/// Exact (binding-specific) privatizability test; see file comment.
+[[nodiscard]] bool inferPrivatizable(const ir::Program& program, std::size_t phase,
+                                     const std::string& array, const ir::Bindings& params);
+
+/// Checks declared `private` markings against the inference: returns the
+/// names of arrays declared privatizable in `phase` that the exact check
+/// rejects (empty = all markings justified).
+[[nodiscard]] std::vector<std::string> unjustifiedPrivatizations(const ir::Program& program,
+                                                                 std::size_t phase,
+                                                                 const ir::Bindings& params);
+
+}  // namespace ad::loc

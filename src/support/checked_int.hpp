@@ -1,0 +1,88 @@
+// Overflow-checked 64-bit integer arithmetic.
+//
+// Descriptor algebra multiplies strides by trip counts; on large synthetic
+// problems those products can overflow silently. All descriptor arithmetic
+// goes through these helpers, which throw on overflow instead of wrapping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "support/diagnostics.hpp"
+
+namespace ad {
+
+[[nodiscard]] inline std::optional<std::int64_t> tryAdd(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) return std::nullopt;
+  return r;
+}
+
+[[nodiscard]] inline std::optional<std::int64_t> trySub(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t r = 0;
+  if (__builtin_sub_overflow(a, b, &r)) return std::nullopt;
+  return r;
+}
+
+[[nodiscard]] inline std::optional<std::int64_t> tryMul(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) return std::nullopt;
+  return r;
+}
+
+[[nodiscard]] inline std::int64_t checkedAdd(std::int64_t a, std::int64_t b) {
+  auto r = tryAdd(a, b);
+  AD_REQUIRE(r.has_value(), "integer overflow in addition");
+  return *r;
+}
+
+[[nodiscard]] inline std::int64_t checkedSub(std::int64_t a, std::int64_t b) {
+  auto r = trySub(a, b);
+  AD_REQUIRE(r.has_value(), "integer overflow in subtraction");
+  return *r;
+}
+
+[[nodiscard]] inline std::int64_t checkedMul(std::int64_t a, std::int64_t b) {
+  auto r = tryMul(a, b);
+  AD_REQUIRE(r.has_value(), "integer overflow in multiplication");
+  return *r;
+}
+
+/// Floor division with sign handling (C++ `/` truncates toward zero).
+[[nodiscard]] inline std::int64_t floorDiv(std::int64_t a, std::int64_t b) {
+  AD_REQUIRE(b != 0, "division by zero");
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Ceiling division with sign handling.
+[[nodiscard]] inline std::int64_t ceilDiv(std::int64_t a, std::int64_t b) {
+  AD_REQUIRE(b != 0, "division by zero");
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+
+/// Euclidean remainder, always in [0, |b|).
+[[nodiscard]] inline std::int64_t euclidMod(std::int64_t a, std::int64_t b) {
+  AD_REQUIRE(b != 0, "modulo by zero");
+  std::int64_t r = a % b;
+  if (r < 0) r += (b < 0 ? -b : b);
+  return r;
+}
+
+[[nodiscard]] inline std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace ad

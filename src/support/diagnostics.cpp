@@ -1,0 +1,29 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace ad {
+
+namespace {
+std::string formatMessage(std::string_view condition, std::string_view file, int line,
+                          std::string_view message) {
+  std::ostringstream os;
+  os << "contract violation at " << file << ":" << line << ": `" << condition << "`";
+  if (!message.empty()) os << " — " << message;
+  return os.str();
+}
+}  // namespace
+
+ContractViolation::ContractViolation(std::string_view condition, std::string_view file, int line,
+                                     std::string_view message)
+    : std::logic_error(formatMessage(condition, file, line, message)),
+      condition_(condition),
+      file_(file),
+      line_(line) {}
+
+void failContract(std::string_view condition, std::string_view file, int line,
+                  std::string_view message) {
+  throw ContractViolation(condition, file, line, message);
+}
+
+}  // namespace ad

@@ -1,0 +1,87 @@
+#include "support/rational.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace ad {
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  AD_REQUIRE(den != 0, "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const std::int64_t g = gcd64(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+std::int64_t Rational::asInteger() const {
+  AD_REQUIRE(isInteger(), "rational is not an integer: " + str());
+  return num_;
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  // a/b + c/d = (a*(d/g) + c*(b/g)) / lcm, computed with a gcd pre-reduction
+  // to keep intermediates small.
+  const std::int64_t g = gcd64(den_, o.den_);
+  const std::int64_t lhsScale = o.den_ / g;
+  const std::int64_t rhsScale = den_ / g;
+  num_ = checkedAdd(checkedMul(num_, lhsScale), checkedMul(o.num_, rhsScale));
+  den_ = checkedMul(den_, lhsScale);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  // Cross-reduce before multiplying to avoid overflow.
+  const std::int64_t g1 = gcd64(num_, o.den_);
+  const std::int64_t g2 = gcd64(o.num_, den_);
+  num_ = checkedMul(num_ / g1, o.num_ / g2);
+  den_ = checkedMul(den_ / g2, o.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  AD_REQUIRE(!o.isZero(), "division by zero rational");
+  return *this *= Rational(o.den_, o.num_);
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  // a.num/a.den < b.num/b.den  <=>  a.num*b.den < b.num*a.den (dens positive).
+  return checkedMul(a.num_, b.den_) < checkedMul(b.num_, a.den_);
+}
+
+std::string Rational::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (r.den() != 1) os << "/" << r.den();
+  return os;
+}
+
+}  // namespace ad

@@ -1,0 +1,66 @@
+// Exact rational numbers over checked 64-bit integers.
+//
+// Monomial coefficients in the symbolic engine are rationals: the paper's
+// descriptors contain terms like (P-2)/2^L and P/2, so intermediate
+// coefficients are frequently non-integral even when the final descriptor
+// entries are integers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "support/checked_int.hpp"
+
+namespace ad {
+
+class Rational {
+ public:
+  constexpr Rational() = default;
+  Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT: implicit by design
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] std::int64_t den() const noexcept { return den_; }
+
+  [[nodiscard]] bool isInteger() const noexcept { return den_ == 1; }
+  [[nodiscard]] bool isZero() const noexcept { return num_ == 0; }
+  /// Integer value; requires isInteger().
+  [[nodiscard]] std::int64_t asInteger() const;
+  /// Floor/ceil of the rational as an integer.
+  [[nodiscard]] std::int64_t floor() const { return floorDiv(num_, den_); }
+  [[nodiscard]] std::int64_t ceil() const { return ceilDiv(num_, den_); }
+  [[nodiscard]] int sign() const noexcept { return num_ > 0 ? 1 : (num_ < 0 ? -1 : 0); }
+
+  [[nodiscard]] Rational operator-() const;
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) noexcept { return !(a == b); }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator<=(const Rational& a, const Rational& b) { return a < b || a == b; }
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator>=(const Rational& a, const Rational& b) { return b <= a; }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void normalize();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace ad

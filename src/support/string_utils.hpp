@@ -1,0 +1,31 @@
+// Small string helpers shared by printers and the front end.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ad {
+
+/// Join the elements of a range with a separator, using operator<< on each.
+template <typename Range>
+[[nodiscard]] std::string join(const Range& range, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) os << sep;
+    os << item;
+    first = false;
+  }
+  return os.str();
+}
+
+[[nodiscard]] std::vector<std::string> splitLines(std::string_view text);
+
+/// Left-pad `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string padLeft(std::string_view s, std::size_t width);
+/// Right-pad `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string padRight(std::string_view s, std::size_t width);
+
+}  // namespace ad

@@ -1,0 +1,367 @@
+#include "symbolic/ranges.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace ad::sym {
+
+// ---------------------------------------------------------------------------
+// Assumptions
+// ---------------------------------------------------------------------------
+
+std::optional<Expr> Assumptions::lower(SymbolId id) const {
+  if (auto it = ranges_.find(id); it != ranges_.end() && it->second.lo) return it->second.lo;
+  switch (table_->kind(id)) {
+    case SymbolKind::kIndex:
+      return Expr::constant(0);  // loops are normalized
+    case SymbolKind::kParameter:
+    case SymbolKind::kLog2Parameter:
+      return Expr::constant(1);  // problem sizes are positive; pow2 params >= 2
+  }
+  return std::nullopt;
+}
+
+std::optional<Expr> Assumptions::upper(SymbolId id) const {
+  if (auto it = ranges_.find(id); it != ranges_.end() && it->second.hi) return it->second.hi;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// RangeAnalyzer — small helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Rebuild a monomial as a standalone Expr.
+Expr monomialExpr(const Monomial& m) {
+  Expr e = Expr::constant(m.coeff());
+  for (const auto& f : m.symbols()) {
+    for (int i = 0; i < f.power; ++i) e *= Expr::symbol(f.id);
+  }
+  if (m.hasPow2()) e *= Expr::pow2(m.pow2Exponent());
+  return e;
+}
+
+/// Divide out factors common to every monomial whose positivity is already
+/// known: the pow2 part of the first monomial (pow2 is always > 0, so the
+/// sign is preserved unconditionally) and common nonnegative symbols.
+/// Preserves: result >= 0 implies input >= 0 (and > 0 implies > 0 when the
+/// stripped symbols are strictly positive — the caller checks that).
+struct StrippedContent {
+  Expr expr;
+  std::vector<SymbolId> strippedSymbols;  // symbols divided out (power >= 1)
+};
+
+StrippedContent stripContent(const Expr& e) {
+  StrippedContent out{e, {}};
+  if (e.terms().empty()) return out;
+  // pow2 content: multiply by pow2(-e0) of the first monomial that has one.
+  for (const auto& m : e.terms()) {
+    if (m.hasPow2()) {
+      out.expr = out.expr * Expr::pow2(-m.pow2Exponent());
+      break;
+    }
+  }
+  // symbol content: min power over all monomials.
+  const auto& terms = out.expr.terms();
+  if (terms.empty()) return out;
+  std::vector<SymbolFactor> content(terms[0].symbols().begin(), terms[0].symbols().end());
+  for (const auto& m : terms) {
+    std::vector<SymbolFactor> next;
+    for (const auto& c : content) {
+      for (const auto& f : m.symbols()) {
+        if (f.id == c.id) {
+          next.push_back(SymbolFactor{c.id, std::min(c.power, f.power)});
+          break;
+        }
+      }
+    }
+    content = std::move(next);
+    if (content.empty()) break;
+  }
+  if (!content.empty()) {
+    Expr divisor = Expr::constant(1);
+    for (const auto& c : content) {
+      out.strippedSymbols.push_back(c.id);
+      for (int i = 0; i < c.power; ++i) divisor *= Expr::symbol(c.id);
+    }
+    if (auto q = Expr::divideExact(out.expr, divisor)) out.expr = *q;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RangeAnalyzer — sign proving
+// ---------------------------------------------------------------------------
+
+bool RangeAnalyzer::symbolNonNegative(SymbolId id, int depth) const {
+  if (depth <= 0) return false;
+  auto lo = asm_->lower(id);
+  return lo && proveNNImpl(*lo, depth - 1);
+}
+
+bool RangeAnalyzer::symbolPositive(SymbolId id, int depth) const {
+  if (depth <= 0) return false;
+  auto lo = asm_->lower(id);
+  return lo && provePosImpl(*lo, depth - 1);
+}
+
+bool RangeAnalyzer::monomialNonNegative(const Monomial& m, int depth) const {
+  if (m.coeff().sign() == 0) return true;
+  if (m.coeff().sign() < 0) return false;
+  return std::all_of(m.symbols().begin(), m.symbols().end(), [&](const SymbolFactor& f) {
+    // Even powers are nonnegative regardless of the base sign.
+    return f.power % 2 == 0 || symbolNonNegative(f.id, depth);
+  });
+}
+
+bool RangeAnalyzer::monomialPositive(const Monomial& m, int depth) const {
+  if (m.coeff().sign() <= 0) return false;
+  return std::all_of(m.symbols().begin(), m.symbols().end(),
+                     [&](const SymbolFactor& f) { return symbolPositive(f.id, depth); });
+}
+
+bool RangeAnalyzer::proveNNImpl(const Expr& e, int depth) const {
+  if (auto c = e.asConstant()) return c->sign() >= 0;
+  if (depth <= 0) return false;
+  if (auto it = nnCache_.find(e); it != nnCache_.end()) return it->second;
+  nnCache_.emplace(e, false);  // cut off re-entrant cycles pessimistically
+
+  const auto conclude = [&](bool result) {
+    nnCache_[e] = result;
+    return result;
+  };
+
+  if (std::all_of(e.terms().begin(), e.terms().end(),
+                  [&](const Monomial& m) { return monomialNonNegative(m, depth - 1); })) {
+    return conclude(true);
+  }
+  // Strip common positive content, which turns e.g. 2PQ - 2P into Q - 1.
+  const StrippedContent sc = stripContent(e);
+  if (sc.expr != e) {
+    const bool contentNN = std::all_of(
+        sc.strippedSymbols.begin(), sc.strippedSymbols.end(),
+        [&](SymbolId id) { return symbolNonNegative(id, depth - 1); });
+    if (contentNN && proveNNImpl(sc.expr, depth - 1)) return conclude(true);
+  }
+  // Lower-bound substitution.
+  if (auto lb = bound(e, Mode::kLower, /*indicesOnly=*/false, depth - 1); lb && *lb != e) {
+    if (proveNNImpl(*lb, depth - 1)) return conclude(true);
+  }
+  // Fact combination: e >= f with a known fact f >= 0 proves e >= 0.
+  // Restricted to the top of the proof search: facts discharge simple
+  // loop-emptiness residues (N - 3 >= 0); letting them fire at every depth
+  // multiplies the search fan-out beyond use.
+  if (depth >= kMaxDepth - 8) {
+    for (const Expr& f : asm_->facts()) {
+      const Expr rest = e - f;
+      if (rest == e) continue;
+      if (proveNNImpl(rest, depth - 2)) return conclude(true);
+    }
+  }
+  return conclude(false);
+}
+
+bool RangeAnalyzer::provePosImpl(const Expr& e, int depth) const {
+  if (auto c = e.asConstant()) return c->sign() > 0;
+  if (depth <= 0) return false;
+  if (auto it = posCache_.find(e); it != posCache_.end()) return it->second;
+  posCache_.emplace(e, false);  // cut off re-entrant cycles pessimistically
+
+  const auto conclude = [&](bool result) {
+    posCache_[e] = result;
+    return result;
+  };
+
+  bool allNonNeg = true;
+  bool somePos = false;
+  for (const auto& m : e.terms()) {
+    allNonNeg = allNonNeg && monomialNonNegative(m, depth - 1);
+    somePos = somePos || monomialPositive(m, depth - 1);
+  }
+  if (allNonNeg && somePos) return conclude(true);
+  const StrippedContent sc = stripContent(e);
+  if (sc.expr != e) {
+    const bool contentPos = std::all_of(
+        sc.strippedSymbols.begin(), sc.strippedSymbols.end(),
+        [&](SymbolId id) { return symbolPositive(id, depth - 1); });
+    if (contentPos && provePosImpl(sc.expr, depth - 1)) return conclude(true);
+  }
+  if (auto lb = bound(e, Mode::kLower, /*indicesOnly=*/false, depth - 1); lb && *lb != e) {
+    if (provePosImpl(*lb, depth - 1)) return conclude(true);
+  }
+  // Fact combination: e > 0 follows from e - f > 0 with fact f >= 0 (top of
+  // the search only; see proveNNImpl).
+  if (depth >= kMaxDepth - 8) {
+    for (const Expr& f : asm_->facts()) {
+      const Expr rest = e - f;
+      if (rest == e) continue;
+      if (provePosImpl(rest, depth - 2)) return conclude(true);
+    }
+  }
+  return conclude(false);
+}
+
+bool RangeAnalyzer::proveNonNegative(const Expr& e) const { return proveNNImpl(e, kMaxDepth); }
+bool RangeAnalyzer::proveNonPositive(const Expr& e) const { return proveNNImpl(-e, kMaxDepth); }
+bool RangeAnalyzer::provePositive(const Expr& e) const { return provePosImpl(e, kMaxDepth); }
+bool RangeAnalyzer::proveNegative(const Expr& e) const { return provePosImpl(-e, kMaxDepth); }
+
+std::optional<int> RangeAnalyzer::signImpl(const Expr& e, int depth) const {
+  if (auto c = e.asConstant()) return c->sign();
+  if (depth <= 0) return std::nullopt;
+  if (provePosImpl(e, depth - 1)) return 1;
+  if (provePosImpl(-e, depth - 1)) return -1;
+  if (proveNNImpl(e, depth - 1) && proveNNImpl(-e, depth - 1)) return 0;
+  return std::nullopt;
+}
+
+std::optional<int> RangeAnalyzer::sign(const Expr& e) const { return signImpl(e, kMaxDepth); }
+
+// ---------------------------------------------------------------------------
+// RangeAnalyzer — bounds
+// ---------------------------------------------------------------------------
+
+std::optional<Expr> RangeAnalyzer::upperBoundExpr(const Expr& e) const {
+  return bound(e, Mode::kUpper, /*indicesOnly=*/true, kMaxDepth);
+}
+
+std::optional<Expr> RangeAnalyzer::lowerBoundExpr(const Expr& e) const {
+  return bound(e, Mode::kLower, /*indicesOnly=*/true, kMaxDepth);
+}
+
+std::optional<Expr> RangeAnalyzer::boundEliminating(const Expr& e, SymbolId victim, Mode mode,
+                                                    bool indicesOnly, int depth) const {
+  const auto lo = asm_->lower(victim);
+  const auto hi = asm_->upper(victim);
+
+  Expr result;
+  for (const auto& m : e.terms()) {
+    Expr mono = monomialExpr(m);
+    if (!mono.contains(victim)) {
+      result += mono;
+      continue;
+    }
+    std::optional<Expr> atLo =
+        lo ? std::optional<Expr>(mono.substitute(victim, *lo)) : std::nullopt;
+    std::optional<Expr> atHi =
+        hi ? std::optional<Expr>(mono.substitute(victim, *hi)) : std::nullopt;
+    std::optional<Expr> pick;
+    if (atLo && atHi) {
+      // Monomials are monotone in each nonnegative symbol, so the extremum is
+      // at an endpoint; weak comparisons suffice to decide which.
+      bool increasing;
+      if (proveNNImpl(*atHi - *atLo, depth - 1)) {
+        increasing = true;
+      } else if (proveNNImpl(*atLo - *atHi, depth - 1)) {
+        increasing = false;
+      } else {
+        return std::nullopt;
+      }
+      pick = (mode == Mode::kUpper) == increasing ? atHi : atLo;
+    } else {
+      // Only one endpoint known: usable iff the monomial is monotone in the
+      // matching direction. A monomial is increasing in a nonnegative symbol
+      // appearing as a plain factor, but a 2^(-L)-style exponent flips the
+      // direction; both occurrences together are indeterminate here.
+      bool inSymbols = false;
+      for (const auto& f : m.symbols()) inSymbols = inSymbols || f.id == victim;
+      int expDir = 0;  // sign of d(exponent)/d(victim), 0 if absent
+      if (m.hasPow2() && m.pow2Exponent().contains(victim)) {
+        auto dec = m.pow2Exponent().linearDecompose(victim);
+        if (!dec) return std::nullopt;
+        auto s = signImpl(dec->first, depth - 1);
+        if (!s) return std::nullopt;
+        expDir = *s;
+      }
+      if (inSymbols && expDir < 0) return std::nullopt;  // mixed directions
+      const int factorDir = expDir < 0 ? -1 : 1;
+      const bool increasing = (m.coeff().sign() > 0) == (factorDir > 0);
+      if (atLo && (mode == Mode::kLower) == increasing) {
+        pick = atLo;
+      } else if (atHi && (mode == Mode::kUpper) == increasing) {
+        pick = atHi;
+      } else {
+        return std::nullopt;
+      }
+    }
+    result += *pick;
+  }
+  return bound(result, mode, indicesOnly, depth - 1);
+}
+
+std::optional<Expr> RangeAnalyzer::bound(const Expr& e, Mode mode, bool indicesOnly,
+                                         int depth) const {
+  if (depth <= 0) return std::nullopt;
+  if (e.isConstant()) return e;
+  const BoundKey key{e, mode == Mode::kUpper, indicesOnly};
+  if (auto it = boundCache_.find(key); it != boundCache_.end()) return it->second;
+
+  const auto& table = asm_->table();
+  const auto free = e.freeSymbols();
+
+  // Candidate victims: loop indices first, innermost preferred (an index is
+  // "inner" if no other index's bound in `e` depends on it); then, unless
+  // indicesOnly, the remaining symbols. Trying candidates in order makes the
+  // analysis robust to one substitution direction being unprovable.
+  std::vector<SymbolId> candidates;
+  std::vector<SymbolId> outerIndices;
+  for (SymbolId id : free) {
+    if (table.kind(id) != SymbolKind::kIndex) continue;
+    bool isOuterOfAnother = false;
+    for (SymbolId other : free) {
+      if (other == id || table.kind(other) != SymbolKind::kIndex) continue;
+      auto lo = asm_->lower(other);
+      auto hi = asm_->upper(other);
+      if ((lo && lo->contains(id)) || (hi && hi->contains(id))) {
+        isOuterOfAnother = true;
+        break;
+      }
+    }
+    (isOuterOfAnother ? outerIndices : candidates).push_back(id);
+  }
+  candidates.insert(candidates.end(), outerIndices.begin(), outerIndices.end());
+  if (!indicesOnly) {
+    for (SymbolId id : free) {
+      if (table.kind(id) != SymbolKind::kIndex) candidates.push_back(id);
+    }
+  }
+  if (candidates.empty()) return e;  // nothing to eliminate: e itself is the bound
+
+  for (SymbolId victim : candidates) {
+    if (auto r = boundEliminating(e, victim, mode, indicesOnly, depth)) {
+      boundCache_.emplace(key, r);
+      return r;
+    }
+  }
+  boundCache_.emplace(key, std::nullopt);
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Integer-valuedness
+// ---------------------------------------------------------------------------
+
+bool RangeAnalyzer::proveIntegerValued(const Expr& e) const {
+  for (const auto& m : e.terms()) {
+    const Rational& c = m.coeff();
+    if (c.isInteger()) continue;
+    // Fractional coefficient: only a pow2 factor can compensate. den must be
+    // a power of two, and the exponent must provably cover it.
+    if (!m.hasPow2()) return false;
+    std::int64_t den = c.den();
+    std::int64_t k = 0;
+    while (den % 2 == 0) {
+      den /= 2;
+      ++k;
+    }
+    if (den != 1) return false;
+    if (!proveNonNegative(m.pow2Exponent() - Expr::constant(k))) return false;
+  }
+  return true;
+}
+
+}  // namespace ad::sym

@@ -1,0 +1,132 @@
+// Symbolic range analysis.
+//
+// Descriptor simplification (stride coalescing subsumption), stride-sign
+// determination (the lambda vectors), and the locality conditions all need
+// questions of the form "is expr >= 0 for every point of the loop
+// polyhedron?" answered conservatively. The analyzer eliminates loop-index
+// symbols by substituting their (possibly coupled, non-rectangular) bounds
+// monotonically, then decides signs monomial-wise; parameters can carry
+// default positivity assumptions (P, Q, H >= 1).
+//
+// All answers are sound but incomplete: "unknown" (nullopt / false) means the
+// property could not be proved, never that it is false.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "symbolic/expr.hpp"
+
+namespace ad::sym {
+
+/// Per-symbol interval assumptions. Bounds are Exprs and may reference other
+/// symbols (e.g. the TFFT2 J loop has upper bound P*2^-L - 1, which mentions
+/// the outer index L).
+class Assumptions {
+ public:
+  explicit Assumptions(const SymbolTable& table) : table_(&table) {}
+
+  void setLower(SymbolId id, Expr lo) { ranges_[id].lo = std::move(lo); }
+  void setUpper(SymbolId id, Expr hi) { ranges_[id].hi = std::move(hi); }
+  void setRange(SymbolId id, Expr lo, Expr hi) {
+    setLower(id, std::move(lo));
+    setUpper(id, std::move(hi));
+  }
+  void clear(SymbolId id) { ranges_.erase(id); }
+
+  /// Registers a fact "expr >= 0" (e.g. loop non-emptiness: upper - lower).
+  void addFact(Expr nonNegative) { facts_.push_back(std::move(nonNegative)); }
+  [[nodiscard]] const std::vector<Expr>& facts() const noexcept { return facts_; }
+
+  /// Effective lower bound for a symbol: explicit assumption if present,
+  /// otherwise the kind-based default (indices >= 0; parameters and log2
+  /// exponents >= 1).
+  [[nodiscard]] std::optional<Expr> lower(SymbolId id) const;
+  [[nodiscard]] std::optional<Expr> upper(SymbolId id) const;
+
+  [[nodiscard]] const SymbolTable& table() const noexcept { return *table_; }
+
+ private:
+  struct Range {
+    std::optional<Expr> lo;
+    std::optional<Expr> hi;
+  };
+  const SymbolTable* table_;
+  std::map<SymbolId, Range> ranges_;
+  std::vector<Expr> facts_;
+};
+
+class RangeAnalyzer {
+ public:
+  explicit RangeAnalyzer(const Assumptions& assumptions) : asm_(&assumptions) {}
+
+  /// Sound upper/lower bound of `e` over the assumed ranges, eliminating only
+  /// loop-index symbols; the result is an Expr over the remaining symbols
+  /// (typically parameters). nullopt when monotonicity cannot be established.
+  [[nodiscard]] std::optional<Expr> upperBoundExpr(const Expr& e) const;
+  [[nodiscard]] std::optional<Expr> lowerBoundExpr(const Expr& e) const;
+
+  /// Provable sign of `e` over all assumed ranges: -1, 0, or +1; nullopt when
+  /// undetermined (including genuinely sign-varying expressions).
+  [[nodiscard]] std::optional<int> sign(const Expr& e) const;
+
+  [[nodiscard]] bool proveNonNegative(const Expr& e) const;
+  [[nodiscard]] bool proveNonPositive(const Expr& e) const;
+  [[nodiscard]] bool provePositive(const Expr& e) const;
+  [[nodiscard]] bool proveNegative(const Expr& e) const;
+
+  /// a <= b provable?
+  [[nodiscard]] bool proveLE(const Expr& a, const Expr& b) const {
+    return proveNonNegative(b - a);
+  }
+  [[nodiscard]] bool proveLT(const Expr& a, const Expr& b) const { return provePositive(b - a); }
+  /// Provably equal on the whole domain (normal forms identical, which is the
+  /// only equality the algebra certifies).
+  [[nodiscard]] bool proveEQ(const Expr& a, const Expr& b) const { return a == b; }
+
+  /// True if `e` provably takes integer values at every integer point of the
+  /// domain: integer-coefficient monomials, and fractional powers of two are
+  /// compensated by provably-nonnegative pow2 exponents (so (1/2)*pow2(L) is
+  /// integer-valued when L >= 1).
+  [[nodiscard]] bool proveIntegerValued(const Expr& e) const;
+
+ private:
+  enum class Mode { kLower, kUpper };
+  static constexpr int kMaxDepth = 24;
+
+  [[nodiscard]] std::optional<Expr> bound(const Expr& e, Mode mode, bool indicesOnly,
+                                          int depth) const;
+  [[nodiscard]] std::optional<Expr> boundEliminating(const Expr& e, SymbolId victim, Mode mode,
+                                                     bool indicesOnly, int depth) const;
+  [[nodiscard]] std::optional<int> signImpl(const Expr& e, int depth) const;
+  [[nodiscard]] bool proveNNImpl(const Expr& e, int depth) const;
+  [[nodiscard]] bool provePosImpl(const Expr& e, int depth) const;
+
+  // Proof caches, keyed by the queried expression. Caching "true" is sound;
+  // caching "false" (= not proven) can only make the analysis more
+  // conservative when a deeper budget would have succeeded, never unsound.
+  // The caches also collapse the fact-combination search (e - f1 - f2 and
+  // e - f2 - f1 are the same normal form).
+  mutable std::map<Expr, bool> nnCache_;
+  mutable std::map<Expr, bool> posCache_;
+
+  struct BoundKey {
+    Expr expr;
+    bool upper;
+    bool indicesOnly;
+    bool operator<(const BoundKey& o) const {
+      if (upper != o.upper) return upper < o.upper;
+      if (indicesOnly != o.indicesOnly) return indicesOnly < o.indicesOnly;
+      return expr.compare(o.expr) < 0;
+    }
+  };
+  mutable std::map<BoundKey, std::optional<Expr>> boundCache_;
+  [[nodiscard]] bool monomialNonNegative(const Monomial& m, int depth) const;
+  [[nodiscard]] bool monomialPositive(const Monomial& m, int depth) const;
+  [[nodiscard]] bool symbolNonNegative(SymbolId id, int depth) const;
+  [[nodiscard]] bool symbolPositive(SymbolId id, int depth) const;
+
+  const Assumptions* asm_;
+};
+
+}  // namespace ad::sym

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "symbolic/expr.hpp"
+
+namespace ad::sym {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  SymbolTable st;
+  SymbolId p = st.pow2Parameter("P", "p");  // P = 2^p
+  SymbolId q = st.parameter("Q");
+  SymbolId I = st.index("I");
+  SymbolId L = st.index("L");
+  SymbolId J = st.index("J");
+  SymbolId K = st.index("K");
+
+  Expr P() const { return Expr::pow2(Expr::symbol(p)); }
+  Expr Q() const { return Expr::symbol(q); }
+  Expr sym(SymbolId id) const { return Expr::symbol(id); }
+  Expr c(std::int64_t v) const { return Expr::constant(v); }
+};
+
+TEST_F(ExprTest, ConstantsFold) {
+  EXPECT_TRUE((c(2) + c(3) - c(5)).isZero());
+  EXPECT_EQ((c(2) * c(3)).asInteger(), 6);
+  EXPECT_EQ(Expr().asInteger(), 0);
+}
+
+TEST_F(ExprTest, LikeTermsCombine) {
+  Expr e = sym(I) + sym(I) + sym(I);
+  EXPECT_EQ(e, c(3) * sym(I));
+  EXPECT_TRUE((e - c(3) * sym(I)).isZero());
+}
+
+TEST_F(ExprTest, Pow2OfConstantIsConstant) {
+  EXPECT_EQ(Expr::pow2(c(5)).asInteger(), 5 == 0 ? 1 : 32);
+  EXPECT_EQ(Expr::pow2(c(0)).asInteger(), 1);
+  auto half = Expr::pow2(c(-1)).asConstant();
+  ASSERT_TRUE(half.has_value());
+  EXPECT_EQ(*half, Rational(1, 2));
+}
+
+TEST_F(ExprTest, Pow2ConstantPartFoldsIntoCoefficient) {
+  // pow2(L-1) == (1/2) * pow2(L): identical normal forms.
+  Expr a = Expr::pow2(sym(L) - c(1));
+  Expr b = Expr::constant(Rational(1, 2)) * Expr::pow2(sym(L));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ExprTest, Pow2ProductsAddExponents) {
+  Expr a = Expr::pow2(sym(L)) * Expr::pow2(sym(p) - sym(L));
+  EXPECT_EQ(a, P());
+  // 2^(L-1) * 2^(1-L) == 1.
+  Expr b = Expr::pow2(sym(L) - c(1)) * Expr::pow2(c(1) - sym(L));
+  EXPECT_EQ(b.asInteger(), 1);
+}
+
+TEST_F(ExprTest, Pow2ParameterIdentities) {
+  // P/2 == 2^(p-1).
+  auto half = Expr::divideExact(P(), c(2));
+  ASSERT_TRUE(half.has_value());
+  EXPECT_EQ(*half, Expr::pow2(sym(p) - c(1)));
+}
+
+TEST_F(ExprTest, TFFT2SubscriptStride) {
+  // phi = 2*P*I + 2^(L-1)*J + K. Stride w.r.t. L is phi[L+1] - phi[L]
+  // = 2^(L-1)*J (the paper's delta_2).
+  Expr phi = c(2) * P() * sym(I) + Expr::pow2(sym(L) - c(1)) * sym(J) + sym(K);
+  Expr strideL = phi.substitute(L, sym(L) + c(1)) - phi;
+  EXPECT_EQ(strideL, Expr::pow2(sym(L) - c(1)) * sym(J));
+
+  Expr strideI = phi.substitute(I, sym(I) + c(1)) - phi;
+  EXPECT_EQ(strideI, c(2) * P());
+
+  Expr strideK = phi.substitute(K, sym(K) + c(1)) - phi;
+  EXPECT_EQ(strideK.asInteger(), 1);
+}
+
+TEST_F(ExprTest, TFFT2AlphaForLLoop) {
+  // span_L = phi(L=p) - phi(L=1) = J*(P/2 - 1); alpha = span/stride + 1
+  // must equal (P-2)*2^-L + 1 (paper Figure 2).
+  Expr term = Expr::pow2(sym(L) - c(1)) * sym(J);
+  Expr span = term.substitute(L, sym(p)) - term.substitute(L, c(1));
+  Expr stride = Expr::pow2(sym(L) - c(1)) * sym(J);
+  auto alphaMinus1 = Expr::divideExact(span, stride);
+  ASSERT_TRUE(alphaMinus1.has_value());
+  Expr expected = (P() - c(2)) * Expr::pow2(-sym(L));
+  EXPECT_EQ(*alphaMinus1, expected);
+}
+
+TEST_F(ExprTest, DivideExactSingleMonomial) {
+  Expr e = c(6) * sym(I) * sym(J) + c(4) * sym(J);
+  auto q2 = Expr::divideExact(e, c(2) * sym(J));
+  ASSERT_TRUE(q2.has_value());
+  EXPECT_EQ(*q2, c(3) * sym(I) + c(2));
+  // Not exact: dividing by I fails on the second term.
+  EXPECT_FALSE(Expr::divideExact(e, sym(I)).has_value());
+}
+
+TEST_F(ExprTest, DivideExactMultiTermDivisor) {
+  // (N+1)*(k+3) / (N+1) == k+3, the 2-D row-major linearization case.
+  SymbolId n = st.parameter("N");
+  SymbolId k = st.index("k2");
+  Expr np1 = sym(n) + c(1);
+  Expr prod = np1 * (sym(k) + c(3));
+  auto quotient = Expr::divideExact(prod, np1);
+  ASSERT_TRUE(quotient.has_value());
+  EXPECT_EQ(*quotient, sym(k) + c(3));
+  // (N+2) does not divide it.
+  EXPECT_FALSE(Expr::divideExact(prod, sym(n) + c(2)).has_value());
+}
+
+TEST_F(ExprTest, DivisionCancelsSymbols) {
+  // J*2^(p-1) - J divided by J*2^(L-1) -> P*2^-L - 2^(1-L).
+  Expr numerator = sym(J) * Expr::pow2(sym(p) - c(1)) - sym(J);
+  Expr denominator = sym(J) * Expr::pow2(sym(L) - c(1));
+  auto quotient = Expr::divideExact(numerator, denominator);
+  ASSERT_TRUE(quotient.has_value());
+  Expr expected = Expr::pow2(sym(p) - sym(L)) - Expr::pow2(c(1) - sym(L));
+  EXPECT_EQ(*quotient, expected);
+}
+
+TEST_F(ExprTest, SubstituteIntoExponent) {
+  Expr e = Expr::pow2(sym(L) - c(1));
+  EXPECT_EQ(e.substitute(L, c(4)).asInteger(), 8);
+  EXPECT_EQ(e.substitute(L, sym(p)), Expr::pow2(sym(p) - c(1)));
+}
+
+TEST_F(ExprTest, SubstituteMap) {
+  Expr phi = c(2) * P() * sym(I) + Expr::pow2(sym(L) - c(1)) * sym(J) + sym(K);
+  std::map<SymbolId, Expr> b{{I, c(1)}, {L, c(2)}, {J, c(1)}, {K, c(1)}};
+  Expr r = phi.substitute(b);
+  EXPECT_EQ(r, c(2) * P() + c(3));
+}
+
+TEST_F(ExprTest, EvaluateNumeric) {
+  Expr phi = c(2) * P() * sym(I) + Expr::pow2(sym(L) - c(1)) * sym(J) + sym(K);
+  // P = 4 means p = 2.
+  std::map<SymbolId, std::int64_t> bind{{p, 2}, {I, 1}, {L, 2}, {J, 1}, {K, 1}};
+  EXPECT_EQ(phi.evaluate(bind), Rational(2 * 4 * 1 + 2 * 1 + 1));
+}
+
+TEST_F(ExprTest, EvaluateRationalIntermediate) {
+  Expr e = P() * Expr::pow2(-sym(L));  // P * 2^-L
+  std::map<SymbolId, std::int64_t> bind{{p, 3}, {L, 2}};
+  EXPECT_EQ(e.evaluate(bind), Rational(2));
+  bind[L] = 4;
+  EXPECT_EQ(e.evaluate(bind), Rational(1, 2));
+}
+
+TEST_F(ExprTest, EvaluateUnboundThrows) {
+  EXPECT_THROW((void)sym(I).evaluate({}), AnalysisError);
+}
+
+TEST_F(ExprTest, LinearDecompose) {
+  Expr e = c(2) * P() * sym(I) + sym(K) + c(7);
+  auto d = e.linearDecompose(I);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->first, c(2) * P());
+  EXPECT_EQ(d->second, sym(K) + c(7));
+  // Quadratic occurrence fails.
+  EXPECT_FALSE((sym(I) * sym(I)).linearDecompose(I).has_value());
+  // Occurrence inside a pow2 exponent fails.
+  EXPECT_FALSE(Expr::pow2(sym(I)).linearDecompose(I).has_value());
+}
+
+TEST_F(ExprTest, FreeSymbolsIncludeExponents) {
+  Expr e = Expr::pow2(sym(L) - c(1)) * sym(J);
+  auto fs = e.freeSymbols();
+  EXPECT_EQ(fs.size(), 2u);
+  EXPECT_TRUE(e.contains(L));
+  EXPECT_TRUE(e.contains(J));
+  EXPECT_FALSE(e.contains(I));
+}
+
+TEST_F(ExprTest, CompareIsTotalOrder) {
+  Expr a = sym(I);
+  Expr b = sym(J);
+  Expr d = c(1);
+  EXPECT_NE(a.compare(b), 0);
+  EXPECT_EQ(a.compare(a), 0);
+  EXPECT_EQ(a.compare(b), -b.compare(a));
+  EXPECT_NE(d.compare(a), 0);
+}
+
+TEST_F(ExprTest, PrinterReadableForms) {
+  EXPECT_EQ(Expr().str(st), "0");
+  EXPECT_EQ((c(2) * P() * sym(I)).str(st), "2*P*I");
+  EXPECT_EQ(P().str(st), "P");
+  auto half = Expr::divideExact(P(), c(2));
+  ASSERT_TRUE(half.has_value());
+  EXPECT_EQ(half->str(st), "1/2*P");  // accepted rendering of P/2
+}
+
+TEST_F(ExprTest, PrinterNonAffine) {
+  Expr e = Expr::pow2(sym(L) - c(1)) * sym(J);
+  const std::string s = e.str(st);
+  // Must mention both J and a power of two of L.
+  EXPECT_NE(s.find('J'), std::string::npos);
+  EXPECT_NE(s.find("2^"), std::string::npos);
+}
+
+TEST_F(ExprTest, MakeSymbolExprResolvesPow2Params) {
+  Expr e = makeSymbolExpr(st, "P");
+  EXPECT_EQ(e, P());
+  Expr f = makeSymbolExpr(st, "Q");
+  EXPECT_EQ(f, Q());
+  EXPECT_THROW((void)makeSymbolExpr(st, "nope"), ContractViolation);
+  Expr g = makeSymbolExpr(st, "R", /*internIfMissing=*/true);
+  EXPECT_FALSE(g.isZero());
+}
+
+TEST_F(ExprTest, HasIntegerCoefficients) {
+  EXPECT_TRUE((c(2) * sym(I) + c(3)).hasIntegerCoefficients());
+  EXPECT_FALSE((Expr::constant(Rational(1, 2)) * sym(I)).hasIntegerCoefficients());
+}
+
+}  // namespace
+}  // namespace ad::sym

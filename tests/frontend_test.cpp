@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "descriptors/phase_descriptor.hpp"
+#include "frontend/parser.hpp"
+
+namespace ad::frontend {
+namespace {
+
+using sym::Expr;
+
+Expr c(std::int64_t v) { return Expr::constant(v); }
+
+TEST(ParseExpr, BasicArithmetic) {
+  sym::SymbolTable st;
+  st.parameter("N");
+  EXPECT_EQ(parseExpr("2 + 3 * 4", st), c(14));
+  EXPECT_EQ(parseExpr("(2 + 3) * 4", st), c(20));
+  EXPECT_EQ(parseExpr("10 / 2", st), c(5));
+  EXPECT_EQ(parseExpr("-7 + 7", st), c(0));
+  EXPECT_EQ(parseExpr("2*N - N - N", st), Expr());
+}
+
+TEST(ParseExpr, Pow2Forms) {
+  sym::SymbolTable st;
+  const auto p = st.pow2Parameter("P", "p");
+  st.index("L");
+  const auto L = *st.lookup("L");
+  EXPECT_EQ(parseExpr("2^p", st), Expr::pow2(Expr::symbol(p)));
+  EXPECT_EQ(parseExpr("P", st), Expr::pow2(Expr::symbol(p)));
+  EXPECT_EQ(parseExpr("2^(L-1)", st), Expr::pow2(Expr::symbol(L) - c(1)));
+  EXPECT_EQ(parseExpr("P * 2^(-L)", st),
+            Expr::pow2(Expr::symbol(p)) * Expr::pow2(-Expr::symbol(L)));
+  EXPECT_EQ(parseExpr("P/2", st), Expr::pow2(Expr::symbol(p) - c(1)));
+  EXPECT_EQ(parseExpr("2^3", st), c(8));
+}
+
+TEST(ParseExpr, IntegerPowers) {
+  sym::SymbolTable st;
+  st.parameter("N");
+  const auto n = *st.lookup("N");
+  EXPECT_EQ(parseExpr("N^2", st), Expr::symbol(n) * Expr::symbol(n));
+  EXPECT_EQ(parseExpr("N^0", st), c(1));
+}
+
+TEST(ParseExpr, Errors) {
+  sym::SymbolTable st;
+  EXPECT_THROW((void)parseExpr("foo", st), ParseError);
+  EXPECT_NO_THROW((void)parseExpr("foo", st, /*internParams=*/true));
+  EXPECT_THROW((void)parseExpr("1 +", st), ParseError);
+  EXPECT_THROW((void)parseExpr("(1", st), ParseError);
+  EXPECT_THROW((void)parseExpr("1 2", st), ParseError);
+  st.parameter("N");
+  // Inexact division.
+  EXPECT_THROW((void)parseExpr("N / 2", st), ParseError);
+  // Symbolic exponent on a non-2 base.
+  EXPECT_THROW((void)parseExpr("3 ^ N", st), ParseError);
+}
+
+TEST(ParseProgram, MinimalPhase) {
+  const auto prog = parseProgram(R"(
+    param N
+    array A(N)
+    phase copy {
+      doall i = 0, N - 1 {
+        read A(i)
+        write A(i)
+      }
+    }
+  )");
+  ASSERT_EQ(prog.phases().size(), 1u);
+  EXPECT_EQ(prog.phase(0).name(), "copy");
+  EXPECT_TRUE(prog.phase(0).hasParallelLoop());
+  EXPECT_EQ(prog.phase(0).refs().size(), 2u);
+}
+
+TEST(ParseProgram, TFFT2PhaseF3MatchesPaper) {
+  // The paper's Figure 1, written in the mini-language; its ARDs must come
+  // out exactly as in Figure 2.
+  const auto prog = parseProgram(R"(
+    pow2param P = 2^p
+    pow2param Q = 2^q
+    array X(2*P*Q)
+    array Y(2*P*Q)
+    phase CFFTZWORK {
+      doall I = 0, Q - 1 {
+        do L = 1, p {
+          do J = 0, P * 2^(-L) - 1 {
+            do K = 0, 2^(L-1) - 1 {
+              update X(2*P*I + 2^(L-1)*J + K)
+              update X(2*P*I + 2^(L-1)*J + K + P/2)
+              update Y(2*P*I + 2^(L-1)*J + K)
+            }
+          }
+        }
+      }
+      private Y
+      work 3.0
+    }
+  )");
+  ASSERT_EQ(prog.phases().size(), 1u);
+  const auto& f3 = prog.phase(0);
+  EXPECT_TRUE(f3.isPrivatized("Y"));
+  EXPECT_DOUBLE_EQ(f3.workPerAccess(), 3.0);
+  ASSERT_EQ(f3.loops().size(), 4u);
+  EXPECT_TRUE(f3.loops()[0].parallel);
+
+  const auto ards = desc::buildARDs(prog, f3, "X");
+  ASSERT_EQ(ards.size(), 4u);
+  const auto p = *prog.symbols().lookup("p");
+  const auto q = *prog.symbols().lookup("q");
+  const Expr P = Expr::pow2(Expr::symbol(p));
+  const Expr Q = Expr::pow2(Expr::symbol(q));
+  EXPECT_EQ(ards[0].dims[0].alpha, Q);
+  EXPECT_EQ(ards[0].dims[0].delta, c(2) * P);
+  EXPECT_TRUE(ards[0].tau.isZero());
+  EXPECT_EQ(ards[2].tau, Expr::pow2(Expr::symbol(p) - c(1)));
+}
+
+TEST(ParseProgram, CyclicFlagAndMultiplePhases) {
+  const auto prog = parseProgram(R"(
+    param N
+    array A(N*N)
+    cyclic
+    phase sweep_rows {
+      doall i = 0, N - 1 {
+        do j = 0, N - 1 {
+          update A(N*i + j)
+        }
+      }
+    }
+    phase sweep_cols {
+      doall j = 0, N - 1 {
+        do i = 0, N - 1 {
+          update A(N*i + j)
+        }
+      }
+    }
+  )");
+  EXPECT_TRUE(prog.cyclic());
+  EXPECT_EQ(prog.phases().size(), 2u);
+}
+
+TEST(ParseProgram, Errors) {
+  // Undeclared array.
+  EXPECT_THROW((void)parseProgram(R"(
+    param N
+    phase f { doall i = 0, N - 1 { read A(i) } }
+  )"),
+               ProgramError);
+  // Unknown identifier in a subscript.
+  EXPECT_THROW((void)parseProgram(R"(
+    param N
+    array A(N)
+    phase f { doall i = 0, N - 1 { read A(zz) } }
+  )"),
+               ParseError);
+  // Two parallel loops.
+  EXPECT_THROW((void)parseProgram(R"(
+    param N
+    array A(N)
+    phase f { doall i = 0, N-1 { doall j = 0, N-1 { read A(i+j) } } }
+  )"),
+               ProgramError);
+  // Shadowed loop index.
+  EXPECT_THROW((void)parseProgram(R"(
+    param N
+    array A(N)
+    phase f { do i = 0, N-1 { do i = 0, 3 { read A(i) } } }
+  )"),
+               ParseError);
+  // Missing brace.
+  EXPECT_THROW((void)parseProgram(R"(
+    param N
+    array A(N)
+    phase f { doall i = 0, N-1 { read A(i) }
+  )"),
+               ParseError);
+  // pow2param with a non-2 base.
+  EXPECT_THROW((void)parseProgram("pow2param P = 3^p\n"), ParseError);
+}
+
+TEST(ParseProgram, ErrorsCarryLocation) {
+  try {
+    (void)parseProgram("param N\narray A(N)\nphase f { doall i = 0, N { read A(zz) } }");
+    FAIL() << "should have thrown";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_GT(e.column(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace ad::frontend

@@ -1,0 +1,130 @@
+// Tests for the remaining Section 2.1 operations: descriptor homogenization
+// (cross-phase union of shifted same-pattern regions) and offset adjustment
+// (the paper's adjust distance R^k).
+#include <gtest/gtest.h>
+
+#include "descriptors/phase_descriptor.hpp"
+#include "frontend/parser.hpp"
+
+namespace ad::desc {
+namespace {
+
+using sym::Expr;
+
+Expr c(std::int64_t v) { return Expr::constant(v); }
+
+class HomogenizeTest : public ::testing::Test {
+ protected:
+  HomogenizeTest() {
+    prog = frontend::parseProgram(R"(
+      param N
+      array A(8*N)
+      # Phase 1 covers [4i, 4i+1]; phase 2 the shifted [4i+2, 4i+3]; phase 3
+      # a different pattern entirely.
+      phase lowhalf {
+        doall i = 0, N - 1 {
+          do j = 0, 1 { read A(4*i + j) }
+        }
+      }
+      phase highhalf {
+        doall i = 0, N - 1 {
+          do j = 0, 1 { read A(4*i + j + 2) }
+        }
+      }
+      phase strided {
+        doall i = 0, N - 1 {
+          do j = 0, 1 { read A(4*i + 2*j) }
+        }
+      }
+    )");
+  }
+
+  PhaseDescriptor simplified(std::size_t phase) {
+    auto pd = buildPhaseDescriptor(prog, phase, "A");
+    const auto assumptions = prog.phase(phase).assumptions(prog.symbols());
+    const sym::RangeAnalyzer ra(assumptions);
+    coalesceStrides(pd, ra);
+    unionTerms(pd, ra);
+    return pd;
+  }
+
+  ir::Program prog;
+};
+
+TEST_F(HomogenizeTest, ShiftedSamePatternRegionsMerge) {
+  const auto pd1 = simplified(0);
+  const auto pd2 = simplified(1);
+  ASSERT_EQ(pd1.terms().size(), 1u);
+  ASSERT_EQ(pd2.terms().size(), 1u);
+
+  const auto assumptions = prog.phase(0).assumptions(prog.symbols());
+  const sym::RangeAnalyzer ra(assumptions);
+  const auto merged = homogenize(pd1.terms()[0], pd2.terms()[0], ra);
+  ASSERT_TRUE(merged.has_value());
+  // The union covers [4i, 4i+3]: span 3 from base 0.
+  EXPECT_TRUE(merged->tau.isZero());
+  EXPECT_EQ(merged->seqSpan(), c(3));
+  // Argument order must not matter.
+  const auto swapped = homogenize(pd2.terms()[0], pd1.terms()[0], ra);
+  ASSERT_TRUE(swapped.has_value());
+  EXPECT_EQ(swapped->seqSpan(), c(3));
+  EXPECT_TRUE(swapped->tau.isZero());
+}
+
+TEST_F(HomogenizeTest, DifferentPatternsDoNotMerge) {
+  const auto pd1 = simplified(0);
+  const auto pd3 = simplified(2);
+  const auto assumptions = prog.phase(0).assumptions(prog.symbols());
+  const sym::RangeAnalyzer ra(assumptions);
+  // [4i, 4i+1] vs {4i, 4i+2}: different sequential structure.
+  EXPECT_FALSE(homogenize(pd1.terms()[0], pd3.terms()[0], ra).has_value());
+}
+
+TEST_F(HomogenizeTest, FarShiftedRegionsDoNotMerge) {
+  // Homogenization must not swallow Delta_d-style far copies.
+  auto pd1 = simplified(0);
+  auto far = pd1.terms()[0];
+  far.tau = far.tau + c(100);
+  far.seqMin = far.seqMin + c(100);
+  far.seqMax = far.seqMax + c(100);
+  const auto assumptions = prog.phase(0).assumptions(prog.symbols());
+  const sym::RangeAnalyzer ra(assumptions);
+  EXPECT_FALSE(homogenize(pd1.terms()[0], far, ra).has_value());
+}
+
+TEST_F(HomogenizeTest, AdjustDistance) {
+  // R^k = (tau_1 - tau_min) / delta_1 when the division is exact.
+  auto pd = simplified(1);  // tau = 2, leading stride 4
+  const auto assumptions = prog.phase(1).assumptions(prog.symbols());
+  const sym::RangeAnalyzer ra(assumptions);
+
+  // Against its own offset: 0.
+  auto r0 = adjustDistance(pd, pd.terms()[0].tau, ra);
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_TRUE(r0->isZero());
+
+  // Against a base 4 strides lower: R = 4.
+  auto r4 = adjustDistance(pd, pd.terms()[0].tau - c(16), ra);
+  ASSERT_TRUE(r4.has_value());
+  EXPECT_EQ(*r4, c(4));
+
+  // Non-exact division: nullopt (tau difference 2 is not a multiple of the
+  // leading stride 4).
+  EXPECT_FALSE(adjustDistance(pd, pd.terms()[0].tau - c(2), ra).has_value());
+}
+
+TEST_F(HomogenizeTest, MinOffsetPicksProvableMinimum) {
+  // Build a PD with offsets {2, 0} by hand from the two phases' terms.
+  auto pd1 = simplified(0);
+  auto pd2 = simplified(1);
+  std::vector<PDTerm> terms{pd2.terms()[0], pd1.terms()[0]};
+  PhaseDescriptor pd("A", 0, terms);
+  const auto assumptions = prog.phase(0).assumptions(prog.symbols());
+  const sym::RangeAnalyzer ra(assumptions);
+  const auto tmin = pd.minOffset(ra);
+  ASSERT_TRUE(tmin.has_value());
+  EXPECT_TRUE(tmin->isZero());
+}
+
+}  // namespace
+}  // namespace ad::desc

@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include "codes/tfft2.hpp"
+#include "lcg/lcg.hpp"
+#include "locality/analysis.hpp"
+
+namespace ad::loc {
+namespace {
+
+using sym::Expr;
+
+Expr c(std::int64_t v) { return Expr::constant(v); }
+
+class Tfft2Locality : public ::testing::Test {
+ protected:
+  Tfft2Locality() : prog(codes::makeTFFT2()) {
+    p = *prog.symbols().lookup("p");
+    q = *prog.symbols().lookup("q");
+    // P = Q = 32 (the FFT sizes the paper's runs used square-ish problems);
+    // H = 8 processors.
+    params = {{p, 5}, {q, 5}};
+  }
+  ir::Program prog;
+  sym::SymbolId p{}, q{};
+  std::map<sym::SymbolId, std::int64_t> params;
+  static constexpr std::int64_t H = 8;
+};
+
+// ---------------------------------------------------------------------------
+// Attributes
+// ---------------------------------------------------------------------------
+
+TEST_F(Tfft2Locality, NodeAttributesMatchFigure6) {
+  // X: R, W, R/W, R, W, R/W, R, W.
+  const Attr expectX[] = {Attr::kRead,  Attr::kWrite,     Attr::kReadWrite, Attr::kRead,
+                          Attr::kWrite, Attr::kReadWrite, Attr::kRead,      Attr::kWrite};
+  // Y: W, R, P, W, R, P, W, R.
+  const Attr expectY[] = {Attr::kWrite, Attr::kRead,      Attr::kPrivatized, Attr::kWrite,
+                          Attr::kRead,  Attr::kPrivatized, Attr::kWrite,     Attr::kRead};
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(attributeOf(prog.phase(k), "X"), expectX[k]) << "X @ F" << k + 1;
+    EXPECT_EQ(attributeOf(prog.phase(k), "Y"), expectY[k]) << "Y @ F" << k + 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Balanced sides and the paper's equations
+// ---------------------------------------------------------------------------
+
+TEST_F(Tfft2Locality, F3BalancedSideIsTwoPTimesChunk) {
+  const auto info = analyzePhaseArray(prog, 2, "X");
+  ASSERT_TRUE(info.side.has_value());
+  const Expr P = Expr::pow2(Expr::symbol(p));
+  // side(n) = 2P*n - 1: slope 2P, offset (P-1) - 2P + h where h = P.
+  EXPECT_EQ(info.side->slope, c(2) * P);
+  EXPECT_EQ(info.side->offset, -c(1));
+  EXPECT_EQ(info.parallelTrip, Expr::pow2(Expr::symbol(q)));  // Q
+}
+
+TEST_F(Tfft2Locality, PaperEquation4F2F3Infeasible) {
+  // Eq. 4: p2 + 2QP - P = 2P*p3 with bounds ceil(P/H), ceil(Q/H): no
+  // integer solution => communication between TRANSA and CFFTZWORK.
+  const auto f2 = analyzePhaseArray(prog, 1, "X");
+  const auto f3 = analyzePhaseArray(prog, 2, "X");
+  const auto cond = makeBalancedCondition(f2, f3);
+  ASSERT_TRUE(cond.has_value());
+  const Expr P = Expr::pow2(Expr::symbol(p));
+  const Expr Q = Expr::pow2(Expr::symbol(q));
+  // slopes: 1 and 2P; offset difference reproduces 2QP - P.
+  EXPECT_EQ(cond->slopeK, c(1));
+  EXPECT_EQ(cond->slopeG, c(2) * P);
+  EXPECT_EQ(cond->offsetK - cond->offsetG, c(2) * Q * P - P);
+  EXPECT_FALSE(cond->holds(params, H));
+  // Without the load-balance bounds the integer solution p2 = P, p3 = Q
+  // exists (the paper's observation about sequential execution).
+  const std::int64_t P_ = 32;
+  const std::int64_t Q_ = 32;
+  auto unbounded = sym::solveLinear2(1, 2 * P_, -(2 * Q_ * P_ - P_), {1, 1 << 20}, {1, 1 << 20});
+  ASSERT_TRUE(unbounded.feasible());
+  bool found = false;
+  for (auto [x, y] : unbounded.enumerate(1 << 21)) {
+    if (x == P_ && y == Q_) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(Tfft2Locality, F3F4BalancedHasCeilQoverHSolutions) {
+  const auto f3 = analyzePhaseArray(prog, 2, "X");
+  const auto f4 = analyzePhaseArray(prog, 3, "X");
+  const auto cond = makeBalancedCondition(f3, f4);
+  ASSERT_TRUE(cond.has_value());
+  const auto fam = cond->solve(params, H);
+  ASSERT_TRUE(fam.feasible());
+  // The paper: ceil(Q/H) integer solutions; p3 = p4 = 1 is one of them.
+  EXPECT_EQ(fam.count(), (32 + H - 1) / H);
+  EXPECT_EQ(fam.smallestX(), (std::pair<std::int64_t, std::int64_t>{1, 1}));
+  for (auto [x, y] : fam.enumerate(100)) EXPECT_EQ(x, y);
+}
+
+TEST_F(Tfft2Locality, F4F5BalancedIsRatioPp4EqualsQp5) {
+  const auto f4 = analyzePhaseArray(prog, 3, "X");
+  const auto f5 = analyzePhaseArray(prog, 4, "X");
+  const auto cond = makeBalancedCondition(f4, f5);
+  ASSERT_TRUE(cond.has_value());
+  EXPECT_TRUE((cond->offsetK - cond->offsetG).isZero());
+  // 2P * p4 = 2Q * p5.
+  const Expr P = Expr::pow2(Expr::symbol(p));
+  const Expr Q = Expr::pow2(Expr::symbol(q));
+  EXPECT_EQ(cond->slopeK, c(2) * P);
+  EXPECT_EQ(cond->slopeG, c(2) * Q);
+  EXPECT_TRUE(cond->holds(params, H));
+  // Also feasible for P = 2Q (the ratio solution p4=1, p5=2).
+  std::map<sym::SymbolId, std::int64_t> rect{{p, 6}, {q, 5}};
+  const auto fam = cond->solve(rect, H);
+  ASSERT_TRUE(fam.feasible());
+  EXPECT_EQ(fam.smallestX(), (std::pair<std::int64_t, std::int64_t>{1, 2}));
+}
+
+TEST_F(Tfft2Locality, F7F8BalancedIsTwoQp7EqualsP8) {
+  const auto f7 = analyzePhaseArray(prog, 6, "X");
+  const auto f8 = analyzePhaseArray(prog, 7, "X");
+  const auto cond = makeBalancedCondition(f7, f8);
+  ASSERT_TRUE(cond.has_value());
+  const Expr Q = Expr::pow2(Expr::symbol(q));
+  EXPECT_EQ(cond->slopeK, c(2) * Q);
+  EXPECT_EQ(cond->slopeG, c(1));
+  EXPECT_TRUE((cond->offsetK - cond->offsetG).isZero());
+  EXPECT_TRUE(cond->holds(params, H));
+}
+
+TEST_F(Tfft2Locality, SymbolicSolutionOfEquation4) {
+  // The paper derives the (bounds-violating) integer solution p2 = P,
+  // p3 = Q symbolically; solveSymbolic must reproduce it.
+  const auto f2 = analyzePhaseArray(prog, 1, "X");
+  const auto f3 = analyzePhaseArray(prog, 2, "X");
+  const auto cond = makeBalancedCondition(f2, f3);
+  ASSERT_TRUE(cond.has_value());
+  const sym::Assumptions defaults(prog.symbols());
+  const sym::RangeAnalyzer ra(defaults);
+  const auto fam = cond->solveSymbolic(ra);
+  ASSERT_TRUE(fam.has_value());
+  const Expr P = Expr::pow2(Expr::symbol(p));
+  const Expr Q = Expr::pow2(Expr::symbol(q));
+  EXPECT_EQ(fam->pk0, P);  // p2 = P
+  EXPECT_EQ(fam->pg0, Q);  // p3 = Q
+  EXPECT_EQ(fam->pkStep, c(2) * P);
+  EXPECT_EQ(*fam->pgStep.asInteger(), 1);
+}
+
+TEST_F(Tfft2Locality, SymbolicSolutionOfRatioEdges) {
+  // F3-F4 (ratio 1:1, offset 0): the family starts at p3 = p4 = 1.
+  const auto f3 = analyzePhaseArray(prog, 2, "X");
+  const auto f4 = analyzePhaseArray(prog, 3, "X");
+  const auto cond = makeBalancedCondition(f3, f4);
+  ASSERT_TRUE(cond.has_value());
+  const sym::Assumptions defaults(prog.symbols());
+  const sym::RangeAnalyzer ra(defaults);
+  const auto fam = cond->solveSymbolic(ra);
+  ASSERT_TRUE(fam.has_value());
+  EXPECT_EQ(*fam->pk0.asInteger(), 1);
+  EXPECT_EQ(*fam->pg0.asInteger(), 1);
+
+  // F7-F8 (2Q p7 = p8): smallest family member p7 = 1, p8 = 2Q.
+  const auto f7 = analyzePhaseArray(prog, 6, "X");
+  const auto f8 = analyzePhaseArray(prog, 7, "X");
+  const auto cond78 = makeBalancedCondition(f7, f8);
+  ASSERT_TRUE(cond78.has_value());
+  const auto fam78 = cond78->solveSymbolic(ra);
+  ASSERT_TRUE(fam78.has_value());
+  const Expr Q = Expr::pow2(Expr::symbol(q));
+  EXPECT_EQ(*fam78->pk0.asInteger(), 1);
+  EXPECT_EQ(fam78->pg0, c(2) * Q);
+}
+
+TEST_F(Tfft2Locality, RenderProducesPaperStyleEquation) {
+  const auto f2 = analyzePhaseArray(prog, 1, "X");
+  const auto f3 = analyzePhaseArray(prog, 2, "X");
+  const auto cond = makeBalancedCondition(f2, f3);
+  ASSERT_TRUE(cond.has_value());
+  const std::string s = cond->render(prog.symbols(), "p2", "p3");
+  // "p2 + 2*P*Q - P = 2*P*p3" modulo term ordering.
+  EXPECT_NE(s.find("p2"), std::string::npos);
+  EXPECT_NE(s.find("= 2*P*p3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Overlap refinements
+// ---------------------------------------------------------------------------
+
+TEST_F(Tfft2Locality, TransposeStridedWriteIsNotOverlapping) {
+  // F2 writes X(J + P*K): intervals of consecutive iterations interleave but
+  // share no element (residue classes mod P).
+  const auto info = analyzePhaseArray(prog, 1, "X");
+  ASSERT_TRUE(info.overlap.has_value());
+  EXPECT_FALSE(*info.overlap);
+}
+
+TEST_F(Tfft2Locality, GenuineOverlapIsDetected) {
+  // A 3-point stencil read: iteration i touches [i-? .. ], here A(i), A(i+1),
+  // A(i+2) with unit parallel stride: consecutive iterations share elements.
+  ir::Program sp;
+  sp.declareArray("A", c(1000));
+  const sym::SymbolId n = sp.symbols().parameter("N");
+  ir::PhaseBuilder b(sp, "stencil");
+  b.doall("i", c(0), Expr::symbol(n) - c(1));
+  const Expr i = b.idx("i");
+  b.read("A", i).read("A", i + c(1)).read("A", i + c(2));
+  b.commit();
+  sp.validate();
+  const auto info = analyzePhaseArray(sp, 0, "A");
+  ASSERT_TRUE(info.overlap.has_value());
+  EXPECT_TRUE(*info.overlap);
+  EXPECT_EQ(info.attr, Attr::kRead);
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 classifier (exhaustive checks live in the bench; spot checks here)
+// ---------------------------------------------------------------------------
+
+TEST(ClassifyEdge, Table1SpotChecks) {
+  using L = EdgeLabel;
+  // R - R row.
+  EXPECT_EQ(classifyEdge(Attr::kRead, Attr::kRead, true, true), L::kLocal);
+  EXPECT_EQ(classifyEdge(Attr::kRead, Attr::kRead, true, false), L::kComm);
+  EXPECT_EQ(classifyEdge(Attr::kRead, Attr::kRead, false, true), L::kLocal);
+  EXPECT_EQ(classifyEdge(Attr::kRead, Attr::kRead, false, false), L::kComm);
+  // W rows: overlap always communicates.
+  EXPECT_EQ(classifyEdge(Attr::kWrite, Attr::kRead, true, true), L::kComm);
+  EXPECT_EQ(classifyEdge(Attr::kWrite, Attr::kRead, false, true), L::kLocal);
+  // W - P: C when overlapping, D otherwise.
+  EXPECT_EQ(classifyEdge(Attr::kWrite, Attr::kPrivatized, true, true), L::kComm);
+  EXPECT_EQ(classifyEdge(Attr::kWrite, Attr::kPrivatized, false, false), L::kUncoupled);
+  // R/W behaves like R for overlap purposes.
+  EXPECT_EQ(classifyEdge(Attr::kReadWrite, Attr::kWrite, true, true), L::kLocal);
+  // P anywhere else: uncoupled.
+  EXPECT_EQ(classifyEdge(Attr::kPrivatized, Attr::kWrite, true, false), L::kUncoupled);
+  EXPECT_EQ(classifyEdge(Attr::kPrivatized, Attr::kPrivatized, false, false), L::kUncoupled);
+  EXPECT_EQ(classifyEdge(Attr::kRead, Attr::kPrivatized, true, true), L::kUncoupled);
+}
+
+// ---------------------------------------------------------------------------
+// LCG of Figure 6
+// ---------------------------------------------------------------------------
+
+TEST_F(Tfft2Locality, Figure6LCGEdgeLabels) {
+  const auto lcg = lcg::buildLCG(prog, params, H);
+  ASSERT_EQ(lcg.graphs().size(), 2u);
+
+  const auto& gx = lcg.graph("X");
+  ASSERT_EQ(gx.nodes.size(), 8u);
+  ASSERT_EQ(gx.edges.size(), 7u);
+  using L = EdgeLabel;
+  const L expectX[] = {L::kComm, L::kComm, L::kLocal, L::kLocal, L::kLocal, L::kLocal, L::kLocal};
+  for (std::size_t e = 0; e < 7; ++e) {
+    EXPECT_EQ(gx.edges[e].label, expectX[e]) << "X edge F" << e + 1 << "->F" << e + 2;
+  }
+
+  const auto& gy = lcg.graph("Y");
+  ASSERT_EQ(gy.nodes.size(), 8u);
+  const L expectY[] = {L::kLocal,     L::kUncoupled, L::kUncoupled, L::kLocal,
+                       L::kUncoupled, L::kUncoupled, L::kLocal};
+  for (std::size_t e = 0; e < 7; ++e) {
+    EXPECT_EQ(gy.edges[e].label, expectY[e]) << "Y edge F" << e + 1 << "->F" << e + 2;
+  }
+}
+
+TEST_F(Tfft2Locality, ChainsSplitAtCommunication) {
+  const auto lcg = lcg::buildLCG(prog, params, H);
+  // X: chains {F1}, {F2}, {F3..F8}.
+  const auto cx = lcg.graph("X").chains();
+  ASSERT_EQ(cx.size(), 3u);
+  EXPECT_EQ(cx[0].size(), 1u);
+  EXPECT_EQ(cx[1].size(), 1u);
+  EXPECT_EQ(cx[2].size(), 6u);
+  // Y: chains {F1,F2}, {F3}, {F4,F5}, {F6}, {F7,F8}.
+  const auto cy = lcg.graph("Y").chains();
+  ASSERT_EQ(cy.size(), 5u);
+  EXPECT_EQ(cy[0].size(), 2u);
+  EXPECT_EQ(cy[2].size(), 2u);
+  EXPECT_EQ(cy[4].size(), 2u);
+}
+
+TEST_F(Tfft2Locality, LCGPrintersMentionEverything) {
+  const auto lcg = lcg::buildLCG(prog, params, H);
+  const std::string s = lcg.str();
+  EXPECT_NE(s.find("CFFTZWORK"), std::string::npos);
+  EXPECT_NE(s.find("(P)"), std::string::npos);
+  const std::string d = lcg.dot();
+  EXPECT_NE(d.find("digraph"), std::string::npos);
+  EXPECT_NE(d.find("style=dashed"), std::string::npos);
+  EXPECT_EQ(lcg.communicationEdges(), 2u);
+}
+
+TEST_F(Tfft2Locality, CyclicProgramAddsBackEdge) {
+  prog.setCyclic(true);
+  const auto lcg = lcg::buildLCG(prog, params, H);
+  const auto& gx = lcg.graph("X");
+  ASSERT_EQ(gx.edges.size(), 8u);
+  EXPECT_TRUE(gx.edges.back().backEdge);
+  EXPECT_EQ(gx.edges.back().from, 7u);
+  EXPECT_EQ(gx.edges.back().to, 0u);
+}
+
+TEST_F(Tfft2Locality, StorageConstraintsAtF8) {
+  const auto info = analyzePhaseArray(prog, 7, "X");
+  // Delta_d = PQ, Delta_r = PQ and 2PQ (Table 2).
+  ASSERT_EQ(info.storage.size(), 3u);
+  const Expr PQ = Expr::pow2(Expr::symbol(p)) * Expr::pow2(Expr::symbol(q));
+  EXPECT_EQ(info.storage[0].kind, StorageConstraint::Kind::kShifted);
+  EXPECT_EQ(info.storage[0].distance, PQ);
+  EXPECT_EQ(info.storage[1].kind, StorageConstraint::Kind::kReverse);
+  EXPECT_EQ(info.storage[1].distance, PQ);
+  EXPECT_EQ(info.storage[2].kind, StorageConstraint::Kind::kReverse);
+  EXPECT_EQ(info.storage[2].distance, c(2) * PQ);
+}
+
+}  // namespace
+}  // namespace ad::loc

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "symbolic/expr.hpp"
+#include "symbolic/ranges.hpp"
+
+namespace ad::sym {
+namespace {
+
+// TFFT2-style environment: P = 2^p, Q, indices I in [0,Q-1], L in [1,p],
+// J in [0, P*2^-L - 1], K in [0, 2^(L-1) - 1].
+class RangesTest : public ::testing::Test {
+ protected:
+  RangesTest() : assumptions(st) {
+    assumptions.setRange(I, c(0), Q() - c(1));
+    assumptions.setRange(L, c(1), sym(p));
+    assumptions.setRange(J, c(0), P() * Expr::pow2(-sym(L)) - c(1));
+    assumptions.setRange(K, c(0), Expr::pow2(sym(L) - c(1)) - c(1));
+  }
+
+  SymbolTable st;
+  SymbolId p = st.pow2Parameter("P", "p");
+  SymbolId q = st.parameter("Q");
+  SymbolId I = st.index("I");
+  SymbolId L = st.index("L");
+  SymbolId J = st.index("J");
+  SymbolId K = st.index("K");
+  Assumptions assumptions;
+
+  Expr P() const { return Expr::pow2(Expr::symbol(p)); }
+  Expr Q() const { return Expr::symbol(q); }
+  static Expr c(std::int64_t v) { return Expr::constant(v); }
+  Expr sym(SymbolId id) const { return Expr::symbol(id); }
+};
+
+TEST_F(RangesTest, ConstantSigns) {
+  RangeAnalyzer ra(assumptions);
+  EXPECT_EQ(ra.sign(c(3)), 1);
+  EXPECT_EQ(ra.sign(c(-2)), -1);
+  EXPECT_EQ(ra.sign(Expr()), 0);
+}
+
+TEST_F(RangesTest, ParameterDefaultsArePositive) {
+  RangeAnalyzer ra(assumptions);
+  EXPECT_TRUE(ra.provePositive(Q()));
+  EXPECT_TRUE(ra.provePositive(P()));
+  // P = 2^p with p >= 1, so P - 2 >= 0.
+  EXPECT_TRUE(ra.proveNonNegative(P() - c(2)));
+  // But P - 3 is not provable (P could be 2).
+  EXPECT_FALSE(ra.proveNonNegative(P() - c(3)));
+}
+
+TEST_F(RangesTest, IndexSignsFromRanges) {
+  RangeAnalyzer ra(assumptions);
+  EXPECT_TRUE(ra.proveNonNegative(sym(I)));
+  EXPECT_TRUE(ra.provePositive(sym(L)));
+  EXPECT_TRUE(ra.proveNonNegative(sym(J)));
+}
+
+TEST_F(RangesTest, UpperBoundEliminatesIndices) {
+  RangeAnalyzer ra(assumptions);
+  // max over I of 2*P*I is 2*P*(Q-1).
+  auto ub = ra.upperBoundExpr(c(2) * P() * sym(I));
+  ASSERT_TRUE(ub.has_value());
+  EXPECT_EQ(*ub, c(2) * P() * (Q() - c(1)));
+}
+
+TEST_F(RangesTest, CoupledBoundsCollapse) {
+  RangeAnalyzer ra(assumptions);
+  // The paper's phase F3: max over (L,J,K) of 2^(L-1)*J + K is P/2 - 1,
+  // independent of L — the couplings must cancel symbolically.
+  Expr e = Expr::pow2(sym(L) - c(1)) * sym(J) + sym(K);
+  auto ub = ra.upperBoundExpr(e);
+  ASSERT_TRUE(ub.has_value());
+  EXPECT_EQ(*ub, Expr::pow2(sym(p) - c(1)) - c(1));  // P/2 - 1
+}
+
+TEST_F(RangesTest, LowerBoundOfAffineIndexExpr) {
+  RangeAnalyzer ra(assumptions);
+  auto lb = ra.lowerBoundExpr(c(3) * sym(I) + c(5));
+  ASSERT_TRUE(lb.has_value());
+  EXPECT_EQ(*lb, c(5));
+}
+
+TEST_F(RangesTest, DecreasingPow2Factor) {
+  RangeAnalyzer ra(assumptions);
+  // P*2^-L is decreasing in L: max at L=1 is P/2, min at L=p is 1.
+  Expr e = P() * Expr::pow2(-sym(L));
+  auto ub = ra.upperBoundExpr(e);
+  ASSERT_TRUE(ub.has_value());
+  EXPECT_EQ(*ub, Expr::pow2(sym(p) - c(1)));
+  auto lb = ra.lowerBoundExpr(e);
+  ASSERT_TRUE(lb.has_value());
+  EXPECT_EQ(lb->asInteger(), 1);
+}
+
+TEST_F(RangesTest, ProveLE) {
+  RangeAnalyzer ra(assumptions);
+  // J <= P*2^-L - 1 <= P/2 - 1.
+  EXPECT_TRUE(ra.proveLE(sym(J), Expr::pow2(sym(p) - c(1)) - c(1)));
+  EXPECT_TRUE(ra.proveLT(sym(I), Q()));
+  EXPECT_FALSE(ra.proveLE(Q(), sym(I)));
+}
+
+TEST_F(RangesTest, MixedSignExpressionsStayUnknown) {
+  RangeAnalyzer ra(assumptions);
+  // I - J can be either sign.
+  EXPECT_FALSE(ra.proveNonNegative(sym(I) - sym(J)));
+  EXPECT_FALSE(ra.proveNonPositive(sym(I) - sym(J)));
+  EXPECT_FALSE(ra.sign(sym(I) - sym(J)).has_value());
+}
+
+TEST_F(RangesTest, IntegerValuedness) {
+  RangeAnalyzer ra(assumptions);
+  // 2^(L-1) is integer for L >= 1 even though its normal form is (1/2)*2^L.
+  EXPECT_TRUE(ra.proveIntegerValued(Expr::pow2(sym(L) - c(1))));
+  // 2^(L-2) is not provably integer (L may be 1).
+  EXPECT_FALSE(ra.proveIntegerValued(Expr::pow2(sym(L) - c(2))));
+  // Plain polynomials with integer coefficients are integer-valued.
+  EXPECT_TRUE(ra.proveIntegerValued(c(3) * sym(I) * sym(J) + c(7)));
+  // 1/3 never is.
+  EXPECT_FALSE(ra.proveIntegerValued(Expr::constant(Rational(1, 3))));
+}
+
+TEST_F(RangesTest, SignOfStrideExpressions) {
+  RangeAnalyzer ra(assumptions);
+  // All the TFFT2 strides are nonnegative; delta_2 = J*2^(L-1) can be zero
+  // (J = 0) so it is nonnegative but not positive.
+  Expr d2 = sym(J) * Expr::pow2(sym(L) - c(1));
+  EXPECT_TRUE(ra.proveNonNegative(d2));
+  EXPECT_FALSE(ra.provePositive(d2));
+  EXPECT_TRUE(ra.provePositive(c(2) * P()));
+}
+
+TEST_F(RangesTest, UpperBoundWholePhi) {
+  RangeAnalyzer ra(assumptions);
+  // max of phi = 2*P*I + 2^(L-1)*J + K over the whole F3 polyhedron is
+  // 2*P*(Q-1) + P/2 - 1.
+  Expr phi = c(2) * P() * sym(I) + Expr::pow2(sym(L) - c(1)) * sym(J) + sym(K);
+  auto ub = ra.upperBoundExpr(phi);
+  ASSERT_TRUE(ub.has_value());
+  Expr expected = c(2) * P() * (Q() - c(1)) + Expr::pow2(sym(p) - c(1)) - c(1);
+  EXPECT_EQ(*ub, expected);
+}
+
+}  // namespace
+}  // namespace ad::sym
