@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficiency_study.dir/efficiency_study.cpp.o"
+  "CMakeFiles/efficiency_study.dir/efficiency_study.cpp.o.d"
+  "efficiency_study"
+  "efficiency_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficiency_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ards.dir/fig2_ards.cpp.o"
+  "CMakeFiles/fig2_ards.dir/fig2_ards.cpp.o.d"
+  "fig2_ards"
+  "fig2_ards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

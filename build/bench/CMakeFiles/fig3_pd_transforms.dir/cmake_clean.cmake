@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pd_transforms.dir/fig3_pd_transforms.cpp.o"
+  "CMakeFiles/fig3_pd_transforms.dir/fig3_pd_transforms.cpp.o.d"
+  "fig3_pd_transforms"
+  "fig3_pd_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pd_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

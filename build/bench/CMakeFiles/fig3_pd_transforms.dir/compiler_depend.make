@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_pd_transforms.
+# This may be replaced when dependencies are built.

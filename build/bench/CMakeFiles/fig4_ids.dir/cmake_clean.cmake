@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ids.dir/fig4_ids.cpp.o"
+  "CMakeFiles/fig4_ids.dir/fig4_ids.cpp.o.d"
+  "fig4_ids"
+  "fig4_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

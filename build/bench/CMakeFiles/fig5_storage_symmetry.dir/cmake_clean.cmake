@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_storage_symmetry.dir/fig5_storage_symmetry.cpp.o"
+  "CMakeFiles/fig5_storage_symmetry.dir/fig5_storage_symmetry.cpp.o.d"
+  "fig5_storage_symmetry"
+  "fig5_storage_symmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_storage_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lcg.dir/fig6_lcg.cpp.o"
+  "CMakeFiles/fig6_lcg.dir/fig6_lcg.cpp.o.d"
+  "fig6_lcg"
+  "fig6_lcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

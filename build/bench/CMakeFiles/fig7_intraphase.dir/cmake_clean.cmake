@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_intraphase.dir/fig7_intraphase.cpp.o"
+  "CMakeFiles/fig7_intraphase.dir/fig7_intraphase.cpp.o.d"
+  "fig7_intraphase"
+  "fig7_intraphase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_intraphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

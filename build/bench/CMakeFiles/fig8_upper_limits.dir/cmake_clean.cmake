@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_upper_limits.dir/fig8_upper_limits.cpp.o"
+  "CMakeFiles/fig8_upper_limits.dir/fig8_upper_limits.cpp.o.d"
+  "fig8_upper_limits"
+  "fig8_upper_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_upper_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_balanced_locality.dir/fig9_balanced_locality.cpp.o"
+  "CMakeFiles/fig9_balanced_locality.dir/fig9_balanced_locality.cpp.o.d"
+  "fig9_balanced_locality"
+  "fig9_balanced_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_balanced_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

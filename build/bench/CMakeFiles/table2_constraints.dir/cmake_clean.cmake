@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_constraints.dir/table2_constraints.cpp.o"
+  "CMakeFiles/table2_constraints.dir/table2_constraints.cpp.o.d"
+  "table2_constraints"
+  "table2_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

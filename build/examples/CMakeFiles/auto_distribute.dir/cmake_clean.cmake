@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_distribute.dir/auto_distribute.cpp.o"
+  "CMakeFiles/auto_distribute.dir/auto_distribute.cpp.o.d"
+  "auto_distribute"
+  "auto_distribute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_distribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

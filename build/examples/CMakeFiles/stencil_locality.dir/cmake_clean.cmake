@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_locality.dir/stencil_locality.cpp.o"
+  "CMakeFiles/stencil_locality.dir/stencil_locality.cpp.o.d"
+  "stencil_locality"
+  "stencil_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

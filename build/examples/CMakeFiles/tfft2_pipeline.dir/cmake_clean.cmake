@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfft2_pipeline.dir/tfft2_pipeline.cpp.o"
+  "CMakeFiles/tfft2_pipeline.dir/tfft2_pipeline.cpp.o.d"
+  "tfft2_pipeline"
+  "tfft2_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfft2_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

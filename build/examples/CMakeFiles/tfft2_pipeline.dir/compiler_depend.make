@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tfft2_pipeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("symbolic")
+subdirs("ir")
+subdirs("frontend")
+subdirs("descriptors")
+subdirs("locality")
+subdirs("lcg")
+subdirs("ilp")
+subdirs("dsm")
+subdirs("comm")
+subdirs("driver")
+subdirs("codes")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/hydro2d.cpp" "src/codes/CMakeFiles/ad_codes.dir/hydro2d.cpp.o" "gcc" "src/codes/CMakeFiles/ad_codes.dir/hydro2d.cpp.o.d"
+  "/root/repo/src/codes/mgrid.cpp" "src/codes/CMakeFiles/ad_codes.dir/mgrid.cpp.o" "gcc" "src/codes/CMakeFiles/ad_codes.dir/mgrid.cpp.o.d"
+  "/root/repo/src/codes/suite.cpp" "src/codes/CMakeFiles/ad_codes.dir/suite.cpp.o" "gcc" "src/codes/CMakeFiles/ad_codes.dir/suite.cpp.o.d"
+  "/root/repo/src/codes/swim.cpp" "src/codes/CMakeFiles/ad_codes.dir/swim.cpp.o" "gcc" "src/codes/CMakeFiles/ad_codes.dir/swim.cpp.o.d"
+  "/root/repo/src/codes/tfft2.cpp" "src/codes/CMakeFiles/ad_codes.dir/tfft2.cpp.o" "gcc" "src/codes/CMakeFiles/ad_codes.dir/tfft2.cpp.o.d"
+  "/root/repo/src/codes/tomcatv.cpp" "src/codes/CMakeFiles/ad_codes.dir/tomcatv.cpp.o" "gcc" "src/codes/CMakeFiles/ad_codes.dir/tomcatv.cpp.o.d"
+  "/root/repo/src/codes/trfd.cpp" "src/codes/CMakeFiles/ad_codes.dir/trfd.cpp.o" "gcc" "src/codes/CMakeFiles/ad_codes.dir/trfd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ad_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ad_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/ad_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ad_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

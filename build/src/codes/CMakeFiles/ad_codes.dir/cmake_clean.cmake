@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_codes.dir/hydro2d.cpp.o"
+  "CMakeFiles/ad_codes.dir/hydro2d.cpp.o.d"
+  "CMakeFiles/ad_codes.dir/mgrid.cpp.o"
+  "CMakeFiles/ad_codes.dir/mgrid.cpp.o.d"
+  "CMakeFiles/ad_codes.dir/suite.cpp.o"
+  "CMakeFiles/ad_codes.dir/suite.cpp.o.d"
+  "CMakeFiles/ad_codes.dir/swim.cpp.o"
+  "CMakeFiles/ad_codes.dir/swim.cpp.o.d"
+  "CMakeFiles/ad_codes.dir/tfft2.cpp.o"
+  "CMakeFiles/ad_codes.dir/tfft2.cpp.o.d"
+  "CMakeFiles/ad_codes.dir/tomcatv.cpp.o"
+  "CMakeFiles/ad_codes.dir/tomcatv.cpp.o.d"
+  "CMakeFiles/ad_codes.dir/trfd.cpp.o"
+  "CMakeFiles/ad_codes.dir/trfd.cpp.o.d"
+  "libad_codes.a"
+  "libad_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_comm.dir/schedule.cpp.o"
+  "CMakeFiles/ad_comm.dir/schedule.cpp.o.d"
+  "libad_comm.a"
+  "libad_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

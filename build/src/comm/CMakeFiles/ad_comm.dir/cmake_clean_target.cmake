@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libad_comm.a"
+)

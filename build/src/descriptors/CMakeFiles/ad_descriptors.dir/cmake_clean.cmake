@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_descriptors.dir/ard.cpp.o"
+  "CMakeFiles/ad_descriptors.dir/ard.cpp.o.d"
+  "CMakeFiles/ad_descriptors.dir/iteration_descriptor.cpp.o"
+  "CMakeFiles/ad_descriptors.dir/iteration_descriptor.cpp.o.d"
+  "CMakeFiles/ad_descriptors.dir/phase_descriptor.cpp.o"
+  "CMakeFiles/ad_descriptors.dir/phase_descriptor.cpp.o.d"
+  "libad_descriptors.a"
+  "libad_descriptors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_descriptors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_driver.dir/pipeline.cpp.o"
+  "CMakeFiles/ad_driver.dir/pipeline.cpp.o.d"
+  "libad_driver.a"
+  "libad_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

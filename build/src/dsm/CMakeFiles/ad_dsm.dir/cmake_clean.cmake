@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_dsm.dir/machine.cpp.o"
+  "CMakeFiles/ad_dsm.dir/machine.cpp.o.d"
+  "CMakeFiles/ad_dsm.dir/validate.cpp.o"
+  "CMakeFiles/ad_dsm.dir/validate.cpp.o.d"
+  "libad_dsm.a"
+  "libad_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_frontend.dir/parser.cpp.o"
+  "CMakeFiles/ad_frontend.dir/parser.cpp.o.d"
+  "libad_frontend.a"
+  "libad_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_ilp.dir/cost_model.cpp.o"
+  "CMakeFiles/ad_ilp.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ad_ilp.dir/model.cpp.o"
+  "CMakeFiles/ad_ilp.dir/model.cpp.o.d"
+  "libad_ilp.a"
+  "libad_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

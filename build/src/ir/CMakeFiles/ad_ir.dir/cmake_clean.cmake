@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_ir.dir/ir.cpp.o"
+  "CMakeFiles/ad_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/ad_ir.dir/walker.cpp.o"
+  "CMakeFiles/ad_ir.dir/walker.cpp.o.d"
+  "libad_ir.a"
+  "libad_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_lcg.dir/lcg.cpp.o"
+  "CMakeFiles/ad_lcg.dir/lcg.cpp.o.d"
+  "libad_lcg.a"
+  "libad_lcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_lcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_locality.dir/analysis.cpp.o"
+  "CMakeFiles/ad_locality.dir/analysis.cpp.o.d"
+  "CMakeFiles/ad_locality.dir/privatization.cpp.o"
+  "CMakeFiles/ad_locality.dir/privatization.cpp.o.d"
+  "libad_locality.a"
+  "libad_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/ad_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/ad_support.dir/rational.cpp.o"
+  "CMakeFiles/ad_support.dir/rational.cpp.o.d"
+  "CMakeFiles/ad_support.dir/string_utils.cpp.o"
+  "CMakeFiles/ad_support.dir/string_utils.cpp.o.d"
+  "libad_support.a"
+  "libad_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/diophantine.cpp" "src/symbolic/CMakeFiles/ad_symbolic.dir/diophantine.cpp.o" "gcc" "src/symbolic/CMakeFiles/ad_symbolic.dir/diophantine.cpp.o.d"
+  "/root/repo/src/symbolic/expr.cpp" "src/symbolic/CMakeFiles/ad_symbolic.dir/expr.cpp.o" "gcc" "src/symbolic/CMakeFiles/ad_symbolic.dir/expr.cpp.o.d"
+  "/root/repo/src/symbolic/ranges.cpp" "src/symbolic/CMakeFiles/ad_symbolic.dir/ranges.cpp.o" "gcc" "src/symbolic/CMakeFiles/ad_symbolic.dir/ranges.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ad_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_symbolic.dir/diophantine.cpp.o"
+  "CMakeFiles/ad_symbolic.dir/diophantine.cpp.o.d"
+  "CMakeFiles/ad_symbolic.dir/expr.cpp.o"
+  "CMakeFiles/ad_symbolic.dir/expr.cpp.o.d"
+  "CMakeFiles/ad_symbolic.dir/ranges.cpp.o"
+  "CMakeFiles/ad_symbolic.dir/ranges.cpp.o.d"
+  "libad_symbolic.a"
+  "libad_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

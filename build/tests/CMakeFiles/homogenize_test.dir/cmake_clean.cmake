@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homogenize_test.dir/homogenize_test.cpp.o"
+  "CMakeFiles/homogenize_test.dir/homogenize_test.cpp.o.d"
+  "homogenize_test"
+  "homogenize_test.pdb"
+  "homogenize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homogenize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privatization_test.dir/privatization_test.cpp.o"
+  "CMakeFiles/privatization_test.dir/privatization_test.cpp.o.d"
+  "privatization_test"
+  "privatization_test.pdb"
+  "privatization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privatization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

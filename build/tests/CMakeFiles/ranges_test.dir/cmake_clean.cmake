@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranges_test.dir/ranges_test.cpp.o"
+  "CMakeFiles/ranges_test.dir/ranges_test.cpp.o.d"
+  "ranges_test"
+  "ranges_test.pdb"
+  "ranges_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
