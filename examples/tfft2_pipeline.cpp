@@ -1,12 +1,18 @@
 // The paper's running example, end to end: the eight-phase TFFT2 section.
 //
-//   run: ./build/examples/tfft2_pipeline [P] [Q] [H]
+//   run: ./build/examples/tfft2_pipeline [P] [Q] [H] [--simulate]
 //
 // Prints the LCG of Figure 6, the Table-2 integer program, the chosen
 // BLOCK-CYCLIC distributions, the put schedules for the two C edges, the
 // simulated execution against the naive baseline, and a Graphviz rendering
 // of the LCG (pipe the last section into `dot -Tpng`).
+//
+// With --simulate, additionally replays the plan on the parallel trace
+// simulator (H real threads, one per simulated processor) and cross-checks
+// the observed local/remote traffic against the Theorem-1/2 edge labels;
+// exits nonzero if the measured locality contradicts the analysis.
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "codes/suite.hpp"
@@ -15,17 +21,29 @@
 
 int main(int argc, char** argv) {
   using namespace ad;
-  const std::int64_t P = argc > 1 ? std::atoll(argv[1]) : 64;
-  const std::int64_t Q = argc > 2 ? std::atoll(argv[2]) : 64;
-  const std::int64_t H = argc > 3 ? std::atoll(argv[3]) : 8;
+  bool simulate = false;
+  std::int64_t positional[3] = {64, 64, 8};
+  int npos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--simulate") == 0) {
+      simulate = true;
+    } else if (npos < 3) {
+      positional[npos++] = std::atoll(argv[i]);
+    }
+  }
+  const std::int64_t P = positional[0];
+  const std::int64_t Q = positional[1];
+  const std::int64_t H = positional[2];
 
   const ir::Program prog = codes::makeTFFT2();
   driver::PipelineConfig config;
   config.params = codes::bindParams(prog, {{"P", P}, {"Q", Q}});
   config.processors = H;
+  config.traceSimulate = simulate;
 
   const auto result = driver::analyzeAndSimulate(prog, config);
   std::cout << result.report(prog);
+  if (result.localityCheck && !result.localityCheck->ok()) return 1;
 
   std::cout << "\n=== put schedules (SHMEM-style) ===\n";
   for (const auto& s : result.schedules) {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Full CI gate: tier-1 tests, ThreadSanitizer pass over the multithreaded
+# trace-simulator tests, and the paper-reproduction benches.
+#
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh tier1      # build + ctest only
+#   scripts/ci.sh tsan       # TSan build of the simulator tests only
+#   scripts/ci.sh bench      # reproduction benches only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+tier1() {
+  echo "=== tier 1: build + ctest ==="
+  cmake -B build -S .
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure
+}
+
+tsan() {
+  # The trace simulator is the only concurrent code; a dedicated
+  # -fsanitize=thread build of its tests catches data races the plain run
+  # cannot. GTest itself is TSan-clean, so the whole binary runs under it.
+  echo "=== tsan: simulator tests under ThreadSanitizer ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j "$jobs" --target sim_test
+  ./build-tsan/tests/sim_test
+}
+
+bench() {
+  echo "=== benches: paper reproductions + simulator validation ==="
+  cmake --build build -j "$jobs"
+  for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    case "$b" in *perf_analysis) continue ;; esac  # google-benchmark: slow, not a check
+    "$b"
+  done
+}
+
+case "$stage" in
+  tier1) tier1 ;;
+  tsan) tsan ;;
+  bench) bench ;;
+  all) tier1; tsan; bench ;;
+  *) echo "unknown stage: $stage (tier1|tsan|bench|all)" >&2; exit 2 ;;
+esac
+echo "CI gate passed."

@@ -27,12 +27,13 @@ ir::Bindings bindParams(const ir::Program& program,
 
 const std::vector<CodeInfo>& benchmarkSuite() {
   static const std::vector<CodeInfo> suite = {
-      {"tfft2", makeTFFT2, {{"P", 256}, {"Q", 256}}, {{"P", 16}, {"Q", 16}}},
-      {"swim", makeSwim, {{"N", 256}}, {{"N", 32}}},
-      {"tomcatv", makeTomcatv, {{"N", 256}}, {{"N", 32}}},
-      {"hydro2d", makeHydro2d, {{"N", 512}}, {{"N", 32}}},
-      {"mgrid", makeMgrid, {{"N", 16384}}, {{"N", 256}}},
-      {"trfd", makeTrfd, {{"N", 768}}, {{"N", 32}}},
+      {"tfft2", makeTFFT2, {{"P", 256}, {"Q", 256}}, {{"P", 16}, {"Q", 16}},
+       {{"P", 64}, {"Q", 64}}},
+      {"swim", makeSwim, {{"N", 256}}, {{"N", 32}}, {{"N", 64}}},
+      {"tomcatv", makeTomcatv, {{"N", 256}}, {{"N", 32}}, {{"N", 64}}},
+      {"hydro2d", makeHydro2d, {{"N", 512}}, {{"N", 32}}, {{"N", 64}}},
+      {"mgrid", makeMgrid, {{"N", 16384}}, {{"N", 256}}, {{"N", 1024}}},
+      {"trfd", makeTrfd, {{"N", 768}}, {{"N", 32}}, {{"N", 64}}},
   };
   return suite;
 }

@@ -121,7 +121,8 @@ dsm::ExecutionPlan derivePlan(const ir::Program& program, const lcg::LCG& lcg,
     // beyond its own iteration tile [a*i, a*(i+1)), evaluated numerically
     // over the ID terms (forward and backward reach).
     std::vector<std::int64_t> halos(numPhases, 0);
-    for (const auto& node : g.nodes) {
+    for (std::size_t n = 0; n < g.nodes.size(); ++n) {
+      const lcg::Node& node = g.nodes[n];
       const auto& terms = node.info.id.terms();
       if (terms.empty() || !node.info.id.uniformParallelStride()) continue;
       try {
@@ -143,7 +144,14 @@ dsm::ExecutionPlan derivePlan(const ir::Program& program, const lcg::LCG& lcg,
         // Replication must pay for itself: compare the frontier-refresh cost
         // against serving the boundary elements remotely. With tiny blocks
         // (block-1 distributions of short DOALLs) the refresh latency loses.
-        if (halo > 0) {
+        // Exception: an incident L edge commits this phase to running
+        // communication-free, and frontier replication is Theorem 1c's
+        // mechanism for that promise — the halo is mandatory, not a cost call.
+        const bool lPromise =
+            std::any_of(g.edges.begin(), g.edges.end(), [n](const auto& e) {
+              return e.to == n && e.label == loc::EdgeLabel::kLocal;
+            });
+        if (halo > 0 && !lPromise) {
           const auto& dist = plan.data.at(g.array)[node.phase];
           if (dist.hasOwner()) {
             const std::int64_t size = evalInt(program.array(g.array).size, params, "size");
@@ -209,6 +217,14 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
                                  dsm::ExecutionPlan::naiveBlock(program, config.params,
                                                                 config.processors));
   }
+  if (config.traceSimulate) {
+    sim::SimOptions so;
+    so.processors = config.processors;
+    result.trace = sim::simulateTrace(program, config.params, result.plan, so);
+    result.localityCheck = dsm::validateLocality(result.lcg, result.plan,
+                                                 result.trace->observed, config.params,
+                                                 config.processors);
+  }
   return result;
 }
 
@@ -240,6 +256,16 @@ std::string PipelineResult::report(const ir::Program& program) const {
   if (!naive.phases.empty()) {
     os << "Naive BLOCK baseline:\n" << naive.str();
     os << "  efficiency = " << naiveEfficiency() << "\n";
+  }
+  if (trace) {
+    os << "\n=== Parallel trace simulation (" << trace->processors << " threads) ===\n"
+       << trace->str();
+  }
+  if (localityCheck) {
+    os << "\n=== Theorem 1/2 validation ===\n"
+       << localityCheck->str()
+       << (localityCheck->ok() ? "  VALIDATED: observed locality matches the LCG labels\n"
+                               : "  FAILED: observed locality contradicts the LCG labels\n");
   }
   return os.str();
 }

@@ -12,13 +12,16 @@
 // ("reverse") distribution, entered through an explicit redistribution.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "comm/schedule.hpp"
 #include "dsm/machine.hpp"
+#include "dsm/validate.hpp"
 #include "ilp/model.hpp"
 #include "lcg/lcg.hpp"
+#include "sim/trace_sim.hpp"
 
 namespace ad::driver {
 
@@ -30,6 +33,11 @@ struct PipelineConfig {
 
   /// Also simulate the naive BLOCK/BLOCK baseline for comparison.
   bool simulateBaseline = true;
+
+  /// The `--simulate` stage: additionally replay the plan on the parallel
+  /// trace simulator (one thread per simulated processor) and cross-check the
+  /// observed communication against the LCG's Theorem-1/2 edge labels.
+  bool traceSimulate = false;
 };
 
 /// Everything the pipeline produces. Valid only while the analyzed Program
@@ -43,6 +51,10 @@ struct PipelineResult {
   dsm::SimulationResult planned;              ///< under the derived plan
   dsm::SimulationResult naive;                ///< under the BLOCK baseline
   std::int64_t processors = 1;
+
+  /// Present when PipelineConfig::traceSimulate was set.
+  std::optional<sim::TraceResult> trace;                      ///< parallel replay
+  std::optional<dsm::LocalityValidationReport> localityCheck; ///< vs Theorem 1/2
 
   [[nodiscard]] double plannedEfficiency() const { return planned.efficiency(processors); }
   [[nodiscard]] double naiveEfficiency() const { return naive.efficiency(processors); }

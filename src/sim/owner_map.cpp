@@ -1,0 +1,18 @@
+#include "sim/owner_map.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace ad::sim {
+
+OwnerMap::OwnerMap(const dsm::DataDistribution& dist, std::int64_t size, std::int64_t processors)
+    : dist_(dist), size_(size), processors_(processors) {
+  AD_REQUIRE(size >= 0, "negative array size");
+  AD_REQUIRE(processors >= 1, "need at least one processor");
+  if (!dist_.hasOwner()) return;
+  owners_.resize(static_cast<std::size_t>(size));
+  for (std::int64_t a = 0; a < size; ++a) {
+    owners_[static_cast<std::size_t>(a)] = static_cast<std::int32_t>(dist_.owner(a, processors));
+  }
+}
+
+}  // namespace ad::sim
