@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -51,5 +52,17 @@ class Reporter {
   int checks_ = 0;
   int failures_ = 0;
 };
+
+/// Writes `content` to `path`; returns false (and prints) on failure. The
+/// BENCH_*.json artifacts all go through here.
+inline bool writeTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  if (!out) {
+    std::cout << "  [FAIL]  could not write " << path << "\n";
+    return false;
+  }
+  return true;
+}
 
 }  // namespace ad::bench

@@ -7,7 +7,10 @@
 // edge fails the bench.
 //
 // Also emits BENCH_sim.json with per-code replay rates (accesses/sec) and
-// local fractions, the raw material for scaling plots.
+// local fractions, the raw material for scaling plots; BENCH_sim_metrics.json
+// with the cumulative ad.metrics.v1 document over all runs; and
+// BENCH_obs.json with the per-stage wall-time breakdown aggregated from the
+// tracer's spans — the perf trajectory of every pipeline stage.
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -17,6 +20,7 @@
 #include "codes/suite.hpp"
 #include "codes/tfft2.hpp"
 #include "driver/pipeline.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -65,11 +69,27 @@ std::string toJson(const std::vector<CodeResult>& results) {
   return os.str();
 }
 
+std::string stageBreakdownJson(const std::map<std::string, ad::obs::SpanStats>& stats) {
+  std::ostringstream os;
+  os << "{\n  \"benchmark\": \"obs_stage_breakdown\",\n  \"stages\": [\n";
+  bool first = true;
+  for (const auto& [name, st] : stats) {
+    os << (first ? "" : ",\n") << "    {\"name\": \"" << name << "\", \"count\": " << st.count
+       << ", \"total_us\": " << st.totalUs << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
 }  // namespace
 
 int main() {
   using namespace ad;
   bench::Reporter rep("Trace-simulator validation of Theorem 1/2 (all codes, P in {1,4,8})");
+
+  // Span collection across every run feeds the per-stage breakdown below.
+  obs::tracer().enable();
 
   const std::vector<std::int64_t> processorCounts = {1, 4, 8};
   std::vector<CodeResult> results;
@@ -109,9 +129,17 @@ int main() {
     results.push_back(std::move(cr));
   }
 
-  const std::string json = toJson(results);
-  std::ofstream out("BENCH_sim.json");
-  out << json;
-  rep.note("wrote BENCH_sim.json");
+  if (bench::writeTextFile("BENCH_sim.json", toJson(results))) {
+    rep.note("wrote BENCH_sim.json");
+  }
+  if (bench::writeTextFile("BENCH_sim_metrics.json", obs::metrics().toJson())) {
+    rep.note("wrote BENCH_sim_metrics.json (cumulative over all codes and P)");
+  }
+  const auto stats = obs::tracer().statsByName();
+  rep.checkTrue("tracer collected pipeline-stage spans", stats.count("pipeline.ilp_solve") > 0 &&
+                                                             stats.count("pipeline.trace_sim") > 0);
+  if (bench::writeTextFile("BENCH_obs.json", stageBreakdownJson(stats))) {
+    rep.note("wrote BENCH_obs.json (per-stage wall-time breakdown)");
+  }
   return rep.finish();
 }

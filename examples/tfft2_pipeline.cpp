@@ -1,6 +1,7 @@
 // The paper's running example, end to end: the eight-phase TFFT2 section.
 //
 //   run: ./build/examples/tfft2_pipeline [P] [Q] [H] [--simulate]
+//            [--trace-out=FILE] [--metrics-out=FILE]
 //
 // Prints the LCG of Figure 6, the Table-2 integer program, the chosen
 // BLOCK-CYCLIC distributions, the put schedules for the two C edges, the
@@ -11,29 +12,79 @@
 // simulator (H real threads, one per simulated processor) and cross-checks
 // the observed local/remote traffic against the Theorem-1/2 edge labels;
 // exits nonzero if the measured locality contradicts the analysis.
+//
+// --trace-out writes a Chrome/Perfetto trace-event JSON of every pipeline
+// stage (and, with --simulate, the per-thread per-phase simulator spans);
+// open it at ui.perfetto.dev. --metrics-out writes the ad.metrics.v1
+// counter/gauge/histogram document.
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <string_view>
 
 #include "codes/suite.hpp"
 #include "codes/tfft2.hpp"
 #include "driver/pipeline.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [P] [Q] [H] [--simulate] [--trace-out=FILE] [--metrics-out=FILE]\n";
+  return 2;
+}
+
+bool writeFileOrComplain(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  if (!out) {
+    std::cerr << "error: could not write " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ad;
   bool simulate = false;
+  std::string traceOut;
+  std::string metricsOut;
   std::int64_t positional[3] = {64, 64, 8};
   int npos = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--simulate") == 0) {
+    const std::string_view arg = argv[i];
+    if (arg == "--simulate") {
       simulate = true;
-    } else if (npos < 3) {
-      positional[npos++] = std::atoll(argv[i]);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      traceOut = arg.substr(std::strlen("--trace-out="));
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metricsOut = arg.substr(std::strlen("--metrics-out="));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unrecognized flag '" << arg << "'\n";
+      return usage(argv[0]);
+    } else {
+      // Positional P/Q/H: must be a complete integer, not atoll's best effort.
+      char* end = nullptr;
+      errno = 0;
+      const long long v = std::strtoll(argv[i], &end, 10);
+      if (errno != 0 || end == argv[i] || *end != '\0' || npos >= 3) {
+        std::cerr << "error: unexpected argument '" << arg << "'\n";
+        return usage(argv[0]);
+      }
+      positional[npos++] = v;
     }
   }
   const std::int64_t P = positional[0];
   const std::int64_t Q = positional[1];
   const std::int64_t H = positional[2];
+
+  if (!traceOut.empty()) obs::tracer().enable();
 
   const ir::Program prog = codes::makeTFFT2();
   driver::PipelineConfig config;
@@ -43,6 +94,10 @@ int main(int argc, char** argv) {
 
   const auto result = driver::analyzeAndSimulate(prog, config);
   std::cout << result.report(prog);
+
+  if (!traceOut.empty() && !writeFileOrComplain(traceOut, obs::tracer().toJson())) return 3;
+  if (!metricsOut.empty() && !writeFileOrComplain(metricsOut, obs::metrics().toJson())) return 3;
+
   if (result.localityCheck && !result.localityCheck->ok()) return 1;
 
   std::cout << "\n=== put schedules (SHMEM-style) ===\n";

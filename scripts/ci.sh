@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Full CI gate: tier-1 tests, ThreadSanitizer pass over the multithreaded
-# trace-simulator tests, and the paper-reproduction benches.
+# trace-simulator and observability tests, the observability smoke
+# (trace/metrics JSON artifacts validated with python), and the
+# paper-reproduction benches.
 #
 #   scripts/ci.sh            # everything
 #   scripts/ci.sh tier1      # build + ctest only
-#   scripts/ci.sh tsan       # TSan build of the simulator tests only
+#   scripts/ci.sh tsan       # TSan build of the concurrent tests only
+#   scripts/ci.sh obs        # tfft2 with --trace-out/--metrics-out + validation
 #   scripts/ci.sh bench      # reproduction benches only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,16 +23,64 @@ tier1() {
 }
 
 tsan() {
-  # The trace simulator is the only concurrent code; a dedicated
-  # -fsanitize=thread build of its tests catches data races the plain run
-  # cannot. GTest itself is TSan-clean, so the whole binary runs under it.
-  echo "=== tsan: simulator tests under ThreadSanitizer ==="
+  # The trace simulator and the obs layer are the concurrent code; a
+  # dedicated -fsanitize=thread build of their tests catches data races the
+  # plain run cannot. GTest itself is TSan-clean, so the whole binaries run
+  # under it.
+  echo "=== tsan: simulator + observability tests under ThreadSanitizer ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build build-tsan -j "$jobs" --target sim_test
+  cmake --build build-tsan -j "$jobs" --target sim_test obs_test
   ./build-tsan/tests/sim_test
+  ./build-tsan/tests/obs_test
+}
+
+obs() {
+  # End-to-end observability smoke: the acceptance command from the obs PR.
+  # Runs the paper's example with tracing + metrics export and validates
+  # both JSON artifacts (parseable, required span names, stable metric keys).
+  echo "=== obs: trace/metrics export + JSON validation ==="
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target tfft2_pipeline
+  ./build/examples/tfft2_pipeline 8 8 4 --simulate \
+    --trace-out=trace.json --metrics-out=metrics.json >/dev/null
+  python3 - <<'EOF'
+import json, sys
+
+trace = json.load(open("trace.json"))
+events = trace["traceEvents"]
+names = {e["name"] for e in events}
+need_spans = {
+    "pipeline.analyze_and_simulate", "pipeline.lcg", "pipeline.ilp_build",
+    "pipeline.ilp_solve", "pipeline.plan", "pipeline.comm",
+    "pipeline.dsm_model", "pipeline.trace_sim", "pipeline.validate",
+    "lcg.build", "ilp.solve", "dsm.simulate", "sim.trace",
+    "sim.barrier_wait",
+}
+missing = need_spans - names
+assert not missing, f"trace.json missing spans: {sorted(missing)}"
+assert any(n.startswith("sim.phase:") for n in names), "no per-phase sim spans"
+assert any(e.get("ph") == "M" for e in events), "no thread_name metadata"
+
+metrics = json.load(open("metrics.json"))
+assert metrics["schema"] == "ad.metrics.v1", metrics.get("schema")
+need_counters = {
+    "ad.desc.stride_coalescings", "ad.desc.term_unions",
+    "ad.desc.homogenizations", "ad.desc.offset_adjustments",
+    "ad.lcg.edges_local", "ad.lcg.edges_comm", "ad.lcg.edges_uncoupled",
+    "ad.ilp.greedy_fallbacks", "ad.sim.local_accesses",
+    "ad.sim.remote_accesses", "ad.sim.barrier_wait_us",
+}
+missing = need_counters - set(metrics["counters"])
+assert not missing, f"metrics.json missing counters: {sorted(missing)}"
+assert "ad.ilp.variables" in metrics["gauges"], "missing ILP gauges"
+assert "ad.sim.local_per_proc_phase" in metrics["histograms"], "missing sim histograms"
+print(f"obs smoke ok: {len(events)} trace events, "
+      f"{len(metrics['counters'])} counters, "
+      f"{len(metrics['gauges'])} gauges, {len(metrics['histograms'])} histograms")
+EOF
 }
 
 bench() {
@@ -45,8 +96,9 @@ bench() {
 case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
+  obs) obs ;;
   bench) bench ;;
-  all) tier1; tsan; bench ;;
-  *) echo "unknown stage: $stage (tier1|tsan|bench|all)" >&2; exit 2 ;;
+  all) tier1; tsan; obs; bench ;;
+  *) echo "unknown stage: $stage (tier1|tsan|obs|bench|all)" >&2; exit 2 ;;
 esac
 echo "CI gate passed."

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/diagnostics.hpp"
 #include "support/string_utils.hpp"
 
@@ -184,12 +185,15 @@ std::size_t subsumeOnce(PDTerm& term, const sym::RangeAnalyzer& ra) {
 }  // namespace
 
 std::size_t coalesceStrides(PhaseDescriptor& pd, const sym::RangeAnalyzer& ra) {
+  // Fetched unconditionally so the metric key exists even when nothing fires.
+  obs::Counter& fired = obs::metrics().counter("ad.desc.stride_coalescings");
   std::size_t removed = 0;
   for (auto& term : pd.terms()) {
     while (contiguityMergeOnce(term)) ++removed;
     removed += subsumeOnce(term, ra);
     while (contiguityMergeOnce(term)) ++removed;
   }
+  fired.add(static_cast<std::int64_t>(removed));
   return removed;
 }
 
@@ -274,6 +278,7 @@ bool tryMergeInto(PDTerm& a, const PDTerm& b, const sym::RangeAnalyzer& ra) {
 }  // namespace
 
 std::size_t unionTerms(PhaseDescriptor& pd, const sym::RangeAnalyzer& ra) {
+  obs::Counter& fired = obs::metrics().counter("ad.desc.term_unions");
   auto& terms = pd.terms();
   std::size_t merged = 0;
   // Duplicate elimination first (read/write pairs of the same reference):
@@ -311,6 +316,7 @@ std::size_t unionTerms(PhaseDescriptor& pd, const sym::RangeAnalyzer& ra) {
       }
     }
   }
+  fired.add(static_cast<std::int64_t>(merged));
   return merged;
 }
 
@@ -319,6 +325,7 @@ std::size_t unionTerms(PhaseDescriptor& pd, const sym::RangeAnalyzer& ra) {
 // ---------------------------------------------------------------------------
 
 std::optional<PDTerm> homogenize(const PDTerm& a, const PDTerm& b, const sym::RangeAnalyzer& ra) {
+  obs::Counter& fired = obs::metrics().counter("ad.desc.homogenizations");
   PDTerm lo = a;
   const PDTerm* hi = &b;
   if (ra.proveLE(b.tau, a.tau)) {
@@ -327,12 +334,16 @@ std::optional<PDTerm> homogenize(const PDTerm& a, const PDTerm& b, const sym::Ra
   } else if (!ra.proveLE(a.tau, b.tau)) {
     return std::nullopt;
   }
-  if (tryMergeInto(lo, *hi, ra)) return lo;
+  if (tryMergeInto(lo, *hi, ra)) {
+    fired.add(1);
+    return lo;
+  }
   return std::nullopt;
 }
 
 std::optional<Expr> adjustDistance(const PhaseDescriptor& pd, const Expr& tauMin,
                                    const sym::RangeAnalyzer& ra) {
+  obs::Counter& fired = obs::metrics().counter("ad.desc.offset_adjustments");
   AD_REQUIRE(!pd.terms().empty(), "adjustDistance of empty descriptor");
   const PDTerm& first = pd.terms().front();
   AD_REQUIRE(!first.dims.empty(), "adjustDistance needs a leading stride");
@@ -341,6 +352,7 @@ std::optional<Expr> adjustDistance(const PhaseDescriptor& pd, const Expr& tauMin
   if (den.isZero()) return std::nullopt;
   const auto q = Expr::divideExact(num, den);
   if (!q || !ra.proveIntegerValued(*q)) return std::nullopt;
+  fired.add(1);
   return q;
 }
 

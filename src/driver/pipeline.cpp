@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
 
@@ -21,6 +22,7 @@ std::int64_t evalInt(const sym::Expr& e, const ir::Bindings& params, const char*
 std::int64_t chunkFor(const ir::Program& program, const ilp::Model& model,
                       const ilp::Solution& solution, std::size_t k, const ir::Bindings& params,
                       std::int64_t processors) {
+  obs::Counter& fallbacks = obs::metrics().counter("ad.ilp.greedy_fallbacks");
   if (solution.feasible) {
     try {
       return solution.chunkOf(model, k);
@@ -28,6 +30,7 @@ std::int64_t chunkFor(const ir::Program& program, const ilp::Model& model,
       // phase without ILP variable: fall through
     }
   }
+  fallbacks.add(1);
   const std::int64_t trip = ir::parallelTripCount(program.phase(k), params);
   return std::max<std::int64_t>(1, ceilDiv(trip, processors));
 }
@@ -178,49 +181,87 @@ dsm::ExecutionPlan derivePlan(const ir::Program& program, const lcg::LCG& lcg,
 }
 
 PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConfig& config) {
-  auto lcgGraph = lcg::buildLCG(program, config.params, config.processors);
-  auto model = ilp::buildModel(lcgGraph, config.params, config.processors, config.costs);
-  auto solution = model.solve();
+  obs::Span pipelineSpan("pipeline.analyze_and_simulate");
+  obs::metrics().counter("ad.driver.pipelines").add(1);
+  // Registered up front (not only at their call sites) so the exported
+  // metrics schema is stable even for inputs that never trigger them.
+  obs::metrics().counter("ad.desc.homogenizations");
+  obs::metrics().counter("ad.desc.offset_adjustments");
+
+  // Each stage runs under its own span so --trace-out shows exactly where
+  // analysis time goes (descriptor/LCG work vs. ILP vs. simulation).
+  std::optional<lcg::LCG> lcgGraph;
+  {
+    obs::Span s("pipeline.lcg");
+    lcgGraph.emplace(lcg::buildLCG(program, config.params, config.processors));
+  }
+  std::optional<ilp::Model> model;
+  {
+    obs::Span s("pipeline.ilp_build");
+    model.emplace(ilp::buildModel(*lcgGraph, config.params, config.processors, config.costs));
+  }
+  ilp::Solution solution;
+  {
+    obs::Span s("pipeline.ilp_solve");
+    solution = model->solve();
+  }
   dsm::MachineParams machineForPlan = config.machine;
   machineForPlan.processors = config.processors;
-  auto plan = derivePlan(program, lcgGraph, model, solution, config.params,
-                         config.processors, machineForPlan);
+  dsm::ExecutionPlan plan;
+  {
+    obs::Span s("pipeline.plan");
+    plan = derivePlan(program, *lcgGraph, *model, solution, config.params,
+                      config.processors, machineForPlan);
+  }
 
   // Communication schedules for every distribution change.
   std::vector<comm::CommSchedule> schedules;
-  for (const auto& [array, dists] : plan.data) {
-    const std::int64_t size = evalInt(program.array(array).size, config.params, "array size");
-    for (std::size_t k = 1; k < dists.size(); ++k) {
-      if (dists[k - 1] == dists[k]) continue;
-      if (!dists[k - 1].hasOwner() || !dists[k].hasOwner()) continue;
-      if (!dsm::redistributionMovesData(program, array, k)) continue;
-      auto sched = comm::generateGlobal(array, size, dists[k - 1], dists[k], config.processors);
-      AD_CHECK(comm::verifiesRedistribution(sched, size, dists[k - 1], dists[k],
-                                            config.processors));
-      schedules.push_back(std::move(sched));
+  {
+    obs::Span s("pipeline.comm");
+    for (const auto& [array, dists] : plan.data) {
+      const std::int64_t size = evalInt(program.array(array).size, config.params, "array size");
+      for (std::size_t k = 1; k < dists.size(); ++k) {
+        if (dists[k - 1] == dists[k]) continue;
+        if (!dists[k - 1].hasOwner() || !dists[k].hasOwner()) continue;
+        if (!dsm::redistributionMovesData(program, array, k)) continue;
+        auto sched = comm::generateGlobal(array, size, dists[k - 1], dists[k], config.processors);
+        AD_CHECK(comm::verifiesRedistribution(sched, size, dists[k - 1], dists[k],
+                                              config.processors));
+        schedules.push_back(std::move(sched));
+      }
     }
   }
 
   dsm::MachineParams machine = config.machine;
   machine.processors = config.processors;
 
-  PipelineResult result{std::move(lcgGraph),
-                        std::move(model),
+  dsm::SimulationResult planned;
+  {
+    obs::Span s("pipeline.dsm_model");
+    planned = dsm::simulate(program, config.params, machine, plan);
+  }
+  PipelineResult result{std::move(*lcgGraph),
+                        std::move(*model),
                         std::move(solution),
-                        plan,
+                        std::move(plan),
                         std::move(schedules),
-                        dsm::simulate(program, config.params, machine, plan),
+                        std::move(planned),
                         {},
                         config.processors};
   if (config.simulateBaseline) {
+    obs::Span s("pipeline.dsm_baseline");
     result.naive = dsm::simulate(program, config.params, machine,
                                  dsm::ExecutionPlan::naiveBlock(program, config.params,
                                                                 config.processors));
   }
   if (config.traceSimulate) {
-    sim::SimOptions so;
-    so.processors = config.processors;
-    result.trace = sim::simulateTrace(program, config.params, result.plan, so);
+    {
+      obs::Span s("pipeline.trace_sim");
+      sim::SimOptions so;
+      so.processors = config.processors;
+      result.trace = sim::simulateTrace(program, config.params, result.plan, so);
+    }
+    obs::Span s("pipeline.validate");
     result.localityCheck = dsm::validateLocality(result.lcg, result.plan,
                                                  result.trace->observed, config.params,
                                                  config.processors);
@@ -267,6 +308,7 @@ std::string PipelineResult::report(const ir::Program& program) const {
        << (localityCheck->ok() ? "  VALIDATED: observed locality matches the LCG labels\n"
                                : "  FAILED: observed locality contradicts the LCG labels\n");
   }
+  os << "\n=== Metrics (" << obs::kMetricsSchema << ") ===\n" << obs::metrics().toJson();
   return os.str();
 }
 

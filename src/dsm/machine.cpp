@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
 
@@ -152,6 +153,7 @@ bool redistributionMovesData(const ir::Program& program, const std::string& arra
 
 SimulationResult simulate(const ir::Program& program, const ir::Bindings& params,
                           const MachineParams& machine, const ExecutionPlan& plan) {
+  obs::Span span("dsm.simulate");
   AD_REQUIRE(plan.iteration.size() == program.phases().size(),
              "plan must cover every phase");
   const std::int64_t H = machine.processors;

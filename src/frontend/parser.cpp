@@ -1,5 +1,6 @@
 #include "frontend/parser.hpp"
 
+#include "obs/obs.hpp"
 #include "symbolic/ranges.hpp"
 
 #include <cctype>
@@ -428,7 +429,11 @@ class Parser {
 
 }  // namespace
 
-ir::Program parseProgram(std::string_view source) { return Parser(source).parseProgram(); }
+ir::Program parseProgram(std::string_view source) {
+  obs::Span span("frontend.parse");
+  obs::metrics().counter("ad.frontend.programs_parsed").add(1);
+  return Parser(source).parseProgram();
+}
 
 Expr parseExpr(std::string_view source, sym::SymbolTable& symbols, bool internParams) {
   return Parser(source).parseExprPublic(symbols, internParams);

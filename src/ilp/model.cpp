@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
 #include "support/rational.hpp"
@@ -180,6 +181,9 @@ Model buildModel(const lcg::LCG& lcg, const std::map<sym::SymbolId, std::int64_t
   for (const auto& sb : m.bounds_) {
     m.vars_[sb.var].hi = std::min(m.vars_[sb.var].hi, floorDiv(sb.rhs, processors));
   }
+  obs::metrics().gauge("ad.ilp.variables").set(static_cast<std::int64_t>(m.vars_.size()));
+  obs::metrics().gauge("ad.ilp.equality_constraints").set(static_cast<std::int64_t>(m.eqs_.size()));
+  obs::metrics().gauge("ad.ilp.storage_bounds").set(static_cast<std::int64_t>(m.bounds_.size()));
   return m;
 }
 
@@ -205,6 +209,8 @@ struct Relation {
 }  // namespace
 
 Solution Model::solve() const {
+  obs::Span span("ilp.solve");
+  obs::Counter& infeasible = obs::metrics().counter("ad.ilp.infeasible_solves");
   const std::size_t n = vars_.size();
   Solution sol;
   sol.values.assign(n, 0);
@@ -328,7 +334,10 @@ Solution Model::solve() const {
         bestT = t;
       }
     }
-    if (!found) return Solution{};  // infeasible model
+    if (!found) {
+      infeasible.add(1);
+      return Solution{};  // infeasible model
+    }
     for (const std::size_t v : members) {
       sol.values[v] = *rel[v].eval(bestT);
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/diagnostics.hpp"
 #include "support/string_utils.hpp"
 
@@ -102,6 +103,7 @@ std::string LCG::dot() const {
 
 LCG buildLCG(const ir::Program& program, const std::map<sym::SymbolId, std::int64_t>& params,
              std::int64_t processors) {
+  obs::Span span("lcg.build");
   std::vector<ArrayGraph> graphs;
   for (const auto& arr : program.arrays()) {
     ArrayGraph g;
@@ -141,6 +143,22 @@ LCG buildLCG(const ir::Program& program, const std::map<sym::SymbolId, std::int6
     if (program.cyclic() && g.nodes.size() > 1) addEdge(g.nodes.size() - 1, 0, true);
     if (!g.nodes.empty()) graphs.push_back(std::move(g));
   }
+  // Table-1 label tallies, per build (keys registered even when zero).
+  std::int64_t local = 0;
+  std::int64_t comm = 0;
+  std::int64_t uncoupled = 0;
+  for (const auto& g : graphs) {
+    for (const auto& e : g.edges) {
+      switch (e.label) {
+        case loc::EdgeLabel::kLocal: ++local; break;
+        case loc::EdgeLabel::kComm: ++comm; break;
+        case loc::EdgeLabel::kUncoupled: ++uncoupled; break;
+      }
+    }
+  }
+  obs::metrics().counter("ad.lcg.edges_local").add(local);
+  obs::metrics().counter("ad.lcg.edges_comm").add(comm);
+  obs::metrics().counter("ad.lcg.edges_uncoupled").add(uncoupled);
   return LCG(&program, std::move(graphs));
 }
 

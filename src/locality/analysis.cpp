@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
 
@@ -110,6 +111,7 @@ std::vector<StorageConstraint> computeStorage(const desc::IterationDescriptor& i
 
 PhaseArrayInfo analyzePhaseArray(const ir::Program& program, std::size_t phaseIdx,
                                  const std::string& array) {
+  obs::Span span("locality.analyze_phase_array", "analysis");
   const ir::Phase& phase = program.phase(phaseIdx);
   const sym::Assumptions assumptions = phase.assumptions(program.symbols());
   const sym::RangeAnalyzer ra(assumptions);

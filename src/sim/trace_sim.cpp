@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "ir/walker.hpp"
+#include "obs/obs.hpp"
 #include "sim/owner_map.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
@@ -40,6 +41,7 @@ struct PhasePrep {
   std::vector<std::string> slotArrays;  ///< distinct arrays, slot order
   std::vector<RefSlot> refs;            ///< parallel to phase.refs()
   dsm::IterationDistribution sched;
+  std::string spanName;                 ///< "sim.phase:<name>", built once here
 };
 
 /// One redistribution to count entering a phase: every element whose owner
@@ -107,6 +109,7 @@ std::string TraceResult::str() const {
 
 TraceResult simulateTrace(const ir::Program& program, const ir::Bindings& params,
                           const dsm::ExecutionPlan& plan, const SimOptions& opts) {
+  obs::Span traceSpan("sim.trace", "sim");
   AD_REQUIRE(plan.iteration.size() == program.phases().size(), "plan must cover every phase");
   AD_REQUIRE(opts.processors >= 1, "need at least one simulated processor");
   const std::int64_t H = opts.processors;
@@ -126,6 +129,7 @@ TraceResult simulateTrace(const ir::Program& program, const ir::Bindings& params
     const ir::Phase& phase = program.phase(k);
     PhasePrep& pp = prep[k];
     pp.sched = plan.iteration[k];
+    pp.spanName = "sim.phase:" + phase.name();
     std::map<std::string, std::size_t> slotOf;
     for (const auto& r : phase.refs()) {
       RefSlot rs;
@@ -214,28 +218,57 @@ TraceResult simulateTrace(const ir::Program& program, const ir::Bindings& params
   std::barrier<> phaseBarrier(static_cast<std::ptrdiff_t>(H));
   std::atomic<bool> abort{false};
 
+  // Per-phase telemetry: each worker tags its spans with its simulated
+  // processor number (main thread stays tid 0) and tallies the time it
+  // spends parked on the two phase barriers. The barrier clock reads are two
+  // per phase per thread — noise next to the per-access walk — and the
+  // counter reference is resolved once, outside the workers.
+  obs::Counter& barrierWaitUs = obs::metrics().counter("ad.sim.barrier_wait_us");
+  const bool traceOn = obs::tracer().enabled();
+  if (traceOn) {
+    for (std::int64_t t = 0; t < H; ++t) {
+      obs::tracer().nameThread(t + 1, "sim.p" + std::to_string(t));
+    }
+  }
+
   const auto worker = [&](std::int64_t t) {
+    obs::Tracer::setCurrentThreadId(t + 1);
     Shard& shard = shards[static_cast<std::size_t>(t)];
+    std::int64_t waitedUs = 0;
+    const auto awaitBarrier = [&] {
+      const std::int64_t t0 = obs::tracer().nowUs();
+      phaseBarrier.arrive_and_wait();
+      const std::int64_t t1 = obs::tracer().nowUs();
+      waitedUs += t1 - t0;
+      if (traceOn) {
+        obs::tracer().record(
+            obs::TraceEvent{"sim.barrier_wait", "sim", t0, t1 - t0, t + 1});
+      }
+    };
     for (std::size_t k = 0; k < numPhases; ++k) {
       // Phase-entry communication: count the owner changes of every
       // redistribution, sharded by contiguous address range.
-      for (std::size_t j = 0; j < jobs[k].size(); ++j) {
-        const RedistJob& job = jobs[k][j];
-        const std::int64_t lo = job.size * t / H;
-        const std::int64_t hi = job.size * (t + 1) / H;
-        for (std::int64_t a = lo; a < hi; ++a) {
-          const std::int64_t src = job.prev->owner(a);
-          const std::int64_t dst = job.next->owner(a);
-          if (src == dst) continue;
-          ++shard.redistWords[k][j];
-          shard.redistPairs[k][j].insert({src, dst});
+      if (!jobs[k].empty()) {
+        obs::Span redistSpan("sim.redistribute", "sim");
+        for (std::size_t j = 0; j < jobs[k].size(); ++j) {
+          const RedistJob& job = jobs[k][j];
+          const std::int64_t lo = job.size * t / H;
+          const std::int64_t hi = job.size * (t + 1) / H;
+          for (std::int64_t a = lo; a < hi; ++a) {
+            const std::int64_t src = job.prev->owner(a);
+            const std::int64_t dst = job.next->owner(a);
+            if (src == dst) continue;
+            ++shard.redistWords[k][j];
+            shard.redistPairs[k][j].insert({src, dst});
+          }
         }
       }
       // The DOALL cannot start before the data is in place.
-      phaseBarrier.arrive_and_wait();
+      awaitBarrier();
       if (!abort.load(std::memory_order_relaxed)) {
         const ir::Phase& phase = program.phase(k);
         const PhasePrep& pp = prep[k];
+        obs::Span phaseSpan(pp.spanName, "sim");
         const auto keep = [&](std::int64_t iter) {
           // Phases with no DOALL run on processor 0 (iter reported as 0).
           return phase.hasParallelLoop() ? pp.sched.executor(iter, H) == t : t == 0;
@@ -262,8 +295,9 @@ TraceResult simulateTrace(const ir::Program& program, const ir::Bindings& params
         }
       }
       // DOALL join: phase k is complete everywhere before phase k+1 begins.
-      phaseBarrier.arrive_and_wait();
+      awaitBarrier();
     }
+    barrierWaitUs.add(waitedUs);
   };
 
   const auto start = std::chrono::steady_clock::now();
@@ -308,6 +342,44 @@ TraceResult simulateTrace(const ir::Program& program, const ir::Bindings& params
       if (rs.wordsMoved > 0) result.observed.redistributions.push_back(std::move(rs));
     }
   }
+
+  // ------------------------------------------------------------------
+  // Telemetry: traffic totals and per-processor/per-phase distributions,
+  // derived from the already-aggregated shards (the per-access hot path
+  // above carries no instrumentation).
+  // ------------------------------------------------------------------
+  obs::MetricsRegistry& reg = obs::metrics();
+  std::int64_t localTotal = 0;
+  std::int64_t remoteTotal = 0;
+  std::int64_t remoteBytesTotal = 0;
+  obs::Histogram& localHist = reg.histogram("ad.sim.local_per_proc_phase");
+  obs::Histogram& remoteHist = reg.histogram("ad.sim.remote_per_proc_phase");
+  for (std::size_t k = 0; k < numPhases; ++k) {
+    for (std::int64_t t = 0; t < H; ++t) {
+      const Shard& s = shards[static_cast<std::size_t>(t)];
+      std::int64_t local = 0;
+      std::int64_t remote = 0;
+      for (std::size_t slot = 0; slot < prep[k].slotArrays.size(); ++slot) {
+        local += s.access[k][slot].local;
+        remote += s.access[k][slot].remote;
+        remoteBytesTotal += s.access[k][slot].remoteBytes;
+      }
+      localHist.observe(local);
+      remoteHist.observe(remote);
+      localTotal += local;
+      remoteTotal += remote;
+    }
+  }
+  reg.counter("ad.sim.local_accesses").add(localTotal);
+  reg.counter("ad.sim.remote_accesses").add(remoteTotal);
+  reg.counter("ad.sim.remote_bytes").add(remoteBytesTotal);
+  std::int64_t redistWords = 0;
+  std::int64_t frontierWords = 0;
+  for (const auto& r : result.observed.redistributions) {
+    (r.frontier ? frontierWords : redistWords) += r.wordsMoved;
+  }
+  reg.counter("ad.sim.redistributed_words").add(redistWords);
+  reg.counter("ad.sim.frontier_words").add(frontierWords);
   return result;
 }
 

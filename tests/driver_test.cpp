@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "codes/tfft2.hpp"
 #include "driver/pipeline.hpp"
+#include "obs/obs.hpp"
 
 namespace ad::driver {
 namespace {
@@ -90,6 +93,58 @@ TEST_F(PipelineTest, OverSubscribedMachineDegradesToMoreCommunication) {
   config.processors = 8;
   const auto small = analyzeAndSimulate(prog, config);
   EXPECT_GT(result.lcg.communicationEdges(), small.lcg.communicationEdges());
+}
+
+TEST_F(PipelineTest, MetricsAndTraceMatchSimulation) {
+  obs::metrics().reset();
+  obs::tracer().clear();
+  obs::tracer().enable();
+  config.traceSimulate = true;
+
+  const auto result = analyzeAndSimulate(prog, config);
+  obs::tracer().disable();
+  ASSERT_TRUE(result.trace.has_value());
+
+  // The ad.sim traffic counters must equal the simulator's own totals: both
+  // are derived from the same per-shard tallies.
+  std::int64_t local = 0;
+  std::int64_t remote = 0;
+  for (const auto& ph : result.trace->observed.phases) {
+    local += ph.local();
+    remote += ph.remote();
+  }
+  EXPECT_EQ(obs::metrics().counter("ad.sim.local_accesses").value(), local);
+  EXPECT_EQ(obs::metrics().counter("ad.sim.remote_accesses").value(), remote);
+  EXPECT_EQ(local + remote, result.trace->totalAccesses);
+
+  // Stable schema: these keys exist in the exported document even when the
+  // underlying event never fired on this input.
+  const std::string json = obs::metrics().toJson();
+  for (const char* key :
+       {"\"schema\": \"ad.metrics.v1\"", "\"ad.desc.stride_coalescings\"",
+        "\"ad.desc.term_unions\"", "\"ad.desc.homogenizations\"", "\"ad.desc.offset_adjustments\"",
+        "\"ad.lcg.edges_local\"", "\"ad.lcg.edges_comm\"", "\"ad.lcg.edges_uncoupled\"",
+        "\"ad.ilp.variables\"", "\"ad.ilp.equality_constraints\"", "\"ad.ilp.greedy_fallbacks\"",
+        "\"ad.sim.local_accesses\"", "\"ad.sim.remote_accesses\"", "\"ad.sim.barrier_wait_us\"",
+        "\"ad.sim.local_per_proc_phase\"", "\"ad.sim.remote_per_proc_phase\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+
+  // Every pipeline stage produced a span, and the simulator emitted
+  // per-phase spans.
+  const auto stats = obs::tracer().statsByName();
+  for (const char* span : {"pipeline.analyze_and_simulate", "pipeline.lcg", "pipeline.ilp_build",
+                           "pipeline.ilp_solve", "pipeline.plan", "pipeline.dsm_model",
+                           "pipeline.trace_sim", "sim.trace"}) {
+    EXPECT_TRUE(stats.count(span)) << span;
+  }
+  const bool hasPhaseSpan =
+      std::any_of(stats.begin(), stats.end(),
+                  [](const auto& kv) { return kv.first.rfind("sim.phase:", 0) == 0; });
+  EXPECT_TRUE(hasPhaseSpan);
+
+  // The report embeds the metrics document.
+  EXPECT_NE(result.report(prog).find("ad.metrics.v1"), std::string::npos);
 }
 
 TEST_F(PipelineTest, FoldedDistributionServesF8) {

@@ -1,0 +1,210 @@
+// Tests for the observability layer (src/obs/): sharded counters, gauges,
+// histograms, the metrics registry's stable JSON schema, and the tracer's
+// span nesting / Chrome-trace export. The concurrency tests are the ones the
+// CI TSan stage runs — they hammer the same counter/histogram/tracer from
+// many threads and assert exact totals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace ad::obs {
+namespace {
+
+// Every test starts from a clean slate; the registry and tracer are
+// process-wide singletons shared across TEST cases.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics().reset();
+    tracer().clear();
+    tracer().disable();
+  }
+  void TearDown() override {
+    tracer().disable();
+    tracer().clear();
+  }
+};
+
+TEST_F(ObsTest, CounterSingleThread) {
+  Counter& c = metrics().counter("ad.test.basic");
+  EXPECT_EQ(c.value(), 0);
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST_F(ObsTest, CounterSameNameSameInstance) {
+  Counter& a = metrics().counter("ad.test.alias");
+  Counter& b = metrics().counter("ad.test.alias");
+  EXPECT_EQ(&a, &b);
+  a.add(1);
+  EXPECT_EQ(b.value(), 1);
+}
+
+TEST_F(ObsTest, CounterConcurrentIncrementsExact) {
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kPerThread = 100000;
+  Counter& c = metrics().counter("ad.test.concurrent");
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::int64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, GaugeSetAndValue) {
+  Gauge& g = metrics().gauge("ad.test.gauge");
+  EXPECT_EQ(g.value(), 0);
+  g.set(42);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndStats) {
+  Histogram& h = metrics().histogram("ad.test.hist");
+  h.observe(0);
+  h.observe(1);
+  h.observe(2);
+  h.observe(1000);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 1003);
+  EXPECT_EQ(h.minValue(), 0);
+  EXPECT_EQ(h.maxValue(), 1000);
+}
+
+TEST_F(ObsTest, HistogramConcurrentObservesExact) {
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kPerThread = 50000;
+  Histogram& h = metrics().histogram("ad.test.hist_concurrent");
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (std::int64_t i = 0; i < kPerThread; ++i) h.observe(t + 1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  // sum of (t+1) over threads, kPerThread observations each
+  EXPECT_EQ(h.sum(), kPerThread * (kThreads * (kThreads + 1) / 2));
+  EXPECT_EQ(h.minValue(), 1);
+  EXPECT_EQ(h.maxValue(), kThreads);
+}
+
+TEST_F(ObsTest, MetricsJsonSchema) {
+  metrics().counter("ad.test.json_counter").add(5);
+  metrics().gauge("ad.test.json_gauge").set(9);
+  metrics().histogram("ad.test.json_hist").observe(3);
+  const std::string json = metrics().toJson();
+  EXPECT_NE(json.find("\"schema\": \"ad.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ad.test.json_counter\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"ad.test.json_gauge\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"ad.test.json_hist\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetZeroesButKeepsKeys) {
+  metrics().counter("ad.test.sticky").add(11);
+  metrics().reset();
+  // The key survives a reset (schema stability); only the value is zeroed.
+  EXPECT_NE(metrics().toJson().find("\"ad.test.sticky\": 0"), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledTracerRecordsNothing) {
+  ASSERT_FALSE(tracer().enabled());
+  {
+    Span s("never.recorded");
+  }
+  EXPECT_TRUE(tracer().snapshot().empty());
+}
+
+TEST_F(ObsTest, SpanNestingAndOrdering) {
+  tracer().enable();
+  {
+    Span outer("test.outer");
+    {
+      Span inner("test.inner");
+    }
+  }
+  const auto events = tracer().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at destruction: inner closes first.
+  EXPECT_EQ(events[0].name, "test.inner");
+  EXPECT_EQ(events[1].name, "test.outer");
+  // The inner span's interval is contained in the outer's.
+  EXPECT_GE(events[0].ts, events[1].ts);
+  EXPECT_LE(events[0].ts + events[0].dur, events[1].ts + events[1].dur);
+}
+
+TEST_F(ObsTest, TraceJsonExport) {
+  tracer().enable();
+  tracer().nameThread(7, "test.worker");
+  {
+    Span s("test.exported", "unit");
+  }
+  const std::string json = tracer().toJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.exported\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // thread_name metadata event for the named simulated thread.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("test.worker"), std::string::npos);
+}
+
+TEST_F(ObsTest, ConcurrentSpansFromManyThreads) {
+  tracer().enable();
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      Tracer::setCurrentThreadId(t + 1);
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span s("test.mt");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto stats = tracer().statsByName();
+  auto it = stats.find("test.mt");
+  ASSERT_NE(it, stats.end());
+  EXPECT_EQ(it->second.count, kThreads * kSpansPerThread);
+  // Every event carries the tid its thread registered.
+  const auto events = tracer().snapshot();
+  EXPECT_EQ(events.size(), static_cast<std::size_t>(kThreads * kSpansPerThread));
+  for (const auto& e : events) {
+    EXPECT_GE(e.tid, 1);
+    EXPECT_LE(e.tid, kThreads);
+  }
+}
+
+TEST_F(ObsTest, StatsByNameAggregates) {
+  tracer().enable();
+  for (int i = 0; i < 3; ++i) {
+    Span s("test.repeat");
+  }
+  const auto stats = tracer().statsByName();
+  auto it = stats.find("test.repeat");
+  ASSERT_NE(it, stats.end());
+  EXPECT_EQ(it->second.count, 3);
+  EXPECT_GE(it->second.totalUs, 0);
+}
+
+}  // namespace
+}  // namespace ad::obs
