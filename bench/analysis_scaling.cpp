@@ -1,0 +1,158 @@
+// Batched analysis engine scaling: serial legacy engine vs the memoized
+// work-stealing engine at 1/2/4/8 worker threads.
+//
+// Workload: the full six-code suite, each analyzed at H in {1, 4, 8}
+// (18 pipeline runs per leg), analysis only — LCG construction, ILP, plan
+// derivation and communication generation, no DSM replay. "serial" is the
+// pre-batching engine: proof memo disabled, no pool. The batched legs share
+// one cold proof memo per leg, so their advantage combines memoized
+// descriptor algebra (stride/offset families recur across codes and
+// processor counts) with parallel per-array analysis.
+//
+// Emits BENCH_analysis.json:
+//   { "serial_ms": ..., "runs": [{"jobs": J, "ms": ..., "speedup": ...}...],
+//     "tfft2": {"hits": ..., "misses": ..., "hit_rate": ...} }
+//
+// Acceptance (checked here, nonzero exit on failure):
+//   - >= 2x wall-time reduction at jobs=8 vs the serial engine,
+//   - > 50% proof-memo hit rate on the TFFT2 segment.
+#include <chrono>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "codes/suite.hpp"
+#include "codes/tfft2.hpp"
+#include "driver/pipeline.hpp"
+#include "symbolic/intern.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct Workload {
+  std::vector<ad::ir::Program> programs;  ///< stable addresses
+  std::vector<ad::driver::BatchItem> batch;
+};
+
+Workload makeWorkload() {
+  Workload w;
+  const auto& suite = ad::codes::benchmarkSuite();
+  w.programs.reserve(suite.size());
+  for (const auto& info : suite) w.programs.push_back(info.build());
+  for (const std::int64_t h : {1, 4, 8}) {
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      ad::driver::BatchItem item;
+      item.program = &w.programs[i];
+      item.config.params = ad::codes::bindParams(w.programs[i], suite[i].smallParams);
+      item.config.processors = h;
+      item.config.simulatePlan = false;
+      item.config.simulateBaseline = false;
+      w.batch.push_back(std::move(item));
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ad;
+  bench::Reporter r("Batched analysis engine scaling (six-code suite x H in {1,4,8})");
+
+  const Workload w = makeWorkload();
+
+  // Serial baseline: the legacy engine — no memo, no pool, one item at a time.
+  double serialMs = 0.0;
+  {
+    sym::ProofMemoEnabledGuard off(false);
+    const auto start = Clock::now();
+    std::size_t done = 0;
+    for (const auto& item : w.batch) {
+      const auto result = driver::analyzeAndSimulate(*item.program, item.config);
+      done += result.plan.iteration.empty() ? 0 : 1;
+    }
+    serialMs = msSince(start);
+    r.checkTrue("serial engine analyzed all " + std::to_string(w.batch.size()) + " configs",
+                done == w.batch.size());
+  }
+  r.note("serial (legacy engine): " + std::to_string(serialMs) + " ms");
+
+  struct Leg {
+    std::size_t jobs;
+    double ms;
+    double speedup;
+  };
+  std::vector<Leg> legs;
+  for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    sym::ProofMemoEnabledGuard on(true);
+    sym::ProofMemo::global().clear();  // each leg earns its own cache
+    const auto start = Clock::now();
+    const auto results = driver::analyzeBatch(w.batch, jobs);
+    const double ms = msSince(start);
+    std::size_t done = 0;
+    for (const auto& res : results) done += res.has_value() ? 1 : 0;
+    if (done != w.batch.size()) {
+      r.checkTrue("batched engine (jobs=" + std::to_string(jobs) + ") analyzed all configs",
+                  false);
+    }
+    legs.push_back({jobs, ms, serialMs / ms});
+    std::ostringstream line;
+    line << "jobs=" << jobs << ": " << ms << " ms  (speedup " << (serialMs / ms) << "x)";
+    r.note(line.str());
+  }
+
+  // TFFT2 cache-locality segment: the running example analyzed at the three
+  // processor counts against one cold memo. analyzePhaseArray is
+  // H-independent, so the cross-H reuse is exactly what the memo captures.
+  sym::ProofMemo::Stats tfft2Stats;
+  {
+    sym::ProofMemoEnabledGuard on(true);
+    sym::ProofMemo::global().clear();
+    const ir::Program prog = codes::makeTFFT2();
+    for (const std::int64_t h : {1, 4, 8}) {
+      driver::PipelineConfig config;
+      config.params = codes::bindParams(prog, {{"P", 64}, {"Q", 64}});
+      config.processors = h;
+      config.simulatePlan = false;
+      config.simulateBaseline = false;
+      const auto result = driver::analyzeAndSimulate(prog, config);
+      (void)result;
+    }
+    tfft2Stats = sym::ProofMemo::global().stats();
+  }
+  std::ostringstream hitLine;
+  hitLine << "tfft2 memo: " << tfft2Stats.hits << " hits / " << tfft2Stats.misses
+          << " misses (rate " << tfft2Stats.hitRate() << ")";
+  r.note(hitLine.str());
+
+  const double best = legs.back().speedup;
+  r.checkTrue(">= 2x wall-time reduction at jobs=8 vs the serial engine (got " +
+                  std::to_string(best) + "x)",
+              best >= 2.0);
+  r.checkTrue("> 50% proof-memo hit rate on TFFT2 (got " +
+                  std::to_string(tfft2Stats.hitRate() * 100.0) + "%)",
+              tfft2Stats.hitRate() > 0.5);
+
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"ad.bench.analysis.v1\",\n";
+  json << "  \"workload\": {\"codes\": 6, \"processor_counts\": [1, 4, 8], \"configs\": "
+       << w.batch.size() << "},\n";
+  json << "  \"serial_ms\": " << serialMs << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    json << "    {\"jobs\": " << legs[i].jobs << ", \"ms\": " << legs[i].ms
+         << ", \"speedup\": " << legs[i].speedup << "}" << (i + 1 < legs.size() ? "," : "")
+         << "\n";
+  }
+  json << "  ],\n  \"tfft2\": {\"hits\": " << tfft2Stats.hits
+       << ", \"misses\": " << tfft2Stats.misses << ", \"hit_rate\": " << tfft2Stats.hitRate()
+       << "}\n}\n";
+  if (!bench::writeTextFile("BENCH_analysis.json", json.str())) return EXIT_FAILURE;
+  r.note("wrote BENCH_analysis.json");
+
+  return r.finish();
+}

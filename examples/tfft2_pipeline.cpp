@@ -1,6 +1,6 @@
 // The paper's running example, end to end: the eight-phase TFFT2 section.
 //
-//   run: ./build/examples/tfft2_pipeline [P] [Q] [H] [--simulate]
+//   run: ./build/examples/tfft2_pipeline [P] [Q] [H] [--simulate] [--jobs N]
 //            [--trace-out=FILE] [--metrics-out=FILE]
 //
 // Prints the LCG of Figure 6, the Table-2 integer program, the chosen
@@ -22,6 +22,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -29,12 +30,13 @@
 #include "codes/tfft2.hpp"
 #include "driver/pipeline.hpp"
 #include "obs/obs.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [P] [Q] [H] [--simulate] [--trace-out=FILE] [--metrics-out=FILE]\n";
+            << " [P] [Q] [H] [--simulate] [--jobs N] [--trace-out=FILE] [--metrics-out=FILE]\n";
   return 2;
 }
 
@@ -55,12 +57,26 @@ int main(int argc, char** argv) {
   bool simulate = false;
   std::string traceOut;
   std::string metricsOut;
+  std::size_t jobs = 1;
   std::int64_t positional[3] = {64, 64, 8};
   int npos = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--simulate") {
       simulate = true;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --jobs needs a thread count\n";
+        return usage(argv[0]);
+      }
+      char* end = nullptr;
+      errno = 0;
+      const long long v = std::strtoll(argv[++i], &end, 10);
+      if (errno != 0 || end == argv[i] || *end != '\0' || v < 0) {
+        std::cerr << "error: bad --jobs value '" << argv[i] << "'\n";
+        return usage(argv[0]);
+      }
+      jobs = v == 0 ? support::ThreadPool::hardwareConcurrency() : static_cast<std::size_t>(v);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       traceOut = arg.substr(std::strlen("--trace-out="));
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -91,8 +107,11 @@ int main(int argc, char** argv) {
   config.params = codes::bindParams(prog, {{"P", P}, {"Q", Q}});
   config.processors = H;
   config.traceSimulate = simulate;
+  config.jobs = jobs;
 
-  const auto result = driver::analyzeAndSimulate(prog, config);
+  std::optional<support::ThreadPool> pool;
+  if (jobs > 1) pool.emplace(jobs);
+  const auto result = driver::analyzeAndSimulate(prog, config, pool ? &*pool : nullptr);
   std::cout << result.report(prog);
 
   if (!traceOut.empty() && !writeFileOrComplain(traceOut, obs::tracer().toJson())) return 3;

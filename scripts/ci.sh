@@ -9,6 +9,7 @@
 #   scripts/ci.sh tsan       # TSan build of the concurrent tests only
 #   scripts/ci.sh obs        # tfft2 with --trace-out/--metrics-out + validation
 #   scripts/ci.sh bench      # reproduction benches only
+#   scripts/ci.sh coverage   # gcov line coverage of src/symbolic + src/descriptors
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,14 +28,36 @@ tsan() {
   # dedicated -fsanitize=thread build of their tests catches data races the
   # plain run cannot. GTest itself is TSan-clean, so the whole binaries run
   # under it.
-  echo "=== tsan: simulator + observability tests under ThreadSanitizer ==="
+  echo "=== tsan: simulator + observability + batched-engine tests under ThreadSanitizer ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build build-tsan -j "$jobs" --target sim_test obs_test
+  cmake --build build-tsan -j "$jobs" --target \
+    sim_test obs_test thread_pool_test determinism_test
   ./build-tsan/tests/sim_test
   ./build-tsan/tests/obs_test
+  ./build-tsan/tests/thread_pool_test
+  ./build-tsan/tests/determinism_test
+}
+
+coverage() {
+  # Line coverage of the proof/descriptor algebra, the layers the memoized
+  # engine must not silently regress. No gcovr in the image, so gcov's JSON
+  # intermediate format + scripts/coverage_report.py do the aggregation and
+  # enforce the threshold (writes coverage.html).
+  echo "=== coverage: src/symbolic + src/descriptors via gcov ==="
+  cmake -B build-cov -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="--coverage -O0 -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="--coverage"
+  local tests=(expr_test ranges_test diophantine_test descriptors_test \
+               property_test homogenize_test golden_test determinism_test)
+  cmake --build build-cov -j "$jobs" --target "${tests[@]}"
+  for t in "${tests[@]}"; do
+    ./build-cov/tests/"$t" >/dev/null
+  done
+  python3 scripts/coverage_report.py build-cov coverage.html
 }
 
 obs() {
@@ -87,7 +110,7 @@ bench() {
   echo "=== benches: paper reproductions + simulator validation ==="
   cmake --build build -j "$jobs"
   for b in build/bench/*; do
-    [ -x "$b" ] || continue
+    [ -f "$b" ] && [ -x "$b" ] || continue  # skip CMakeFiles/ etc.
     case "$b" in *perf_analysis) continue ;; esac  # google-benchmark: slow, not a check
     "$b"
   done
@@ -98,7 +121,8 @@ case "$stage" in
   tsan) tsan ;;
   obs) obs ;;
   bench) bench ;;
-  all) tier1; tsan; obs; bench ;;
-  *) echo "unknown stage: $stage (tier1|tsan|obs|bench|all)" >&2; exit 2 ;;
+  coverage) coverage ;;
+  all) tier1; tsan; obs; bench; coverage ;;
+  *) echo "unknown stage: $stage (tier1|tsan|obs|bench|coverage|all)" >&2; exit 2 ;;
 esac
 echo "CI gate passed."

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate the golden-file snapshots in tests/golden/ from the current
+# analysis engine. Run this ONLY after verifying an intentional output change
+# (docs/TESTING.md has the checklist); then review the JSON diff like any
+# other code change.
+#
+#   scripts/update_goldens.sh            # rebuild golden_test, rewrite goldens
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+cmake -B build -S .
+cmake --build build -j "$jobs" --target golden_test
+AD_UPDATE_GOLDENS=1 ./build/tests/golden_test --gtest_filter='*AnalysisMatchesSnapshot*'
+echo
+echo "Rewrote tests/golden/. Review the diff:"
+git --no-pager diff --stat -- tests/golden

@@ -7,6 +7,7 @@
 #include "obs/obs.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ad::driver {
 
@@ -180,7 +181,8 @@ dsm::ExecutionPlan derivePlan(const ir::Program& program, const lcg::LCG& lcg,
   return plan;
 }
 
-PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConfig& config) {
+PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConfig& config,
+                                  support::ThreadPool* pool) {
   obs::Span pipelineSpan("pipeline.analyze_and_simulate");
   obs::metrics().counter("ad.driver.pipelines").add(1);
   // Registered up front (not only at their call sites) so the exported
@@ -193,7 +195,7 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   std::optional<lcg::LCG> lcgGraph;
   {
     obs::Span s("pipeline.lcg");
-    lcgGraph.emplace(lcg::buildLCG(program, config.params, config.processors));
+    lcgGraph.emplace(lcg::buildLCG(program, config.params, config.processors, pool));
   }
   std::optional<ilp::Model> model;
   {
@@ -236,7 +238,7 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   machine.processors = config.processors;
 
   dsm::SimulationResult planned;
-  {
+  if (config.simulatePlan) {
     obs::Span s("pipeline.dsm_model");
     planned = dsm::simulate(program, config.params, machine, plan);
   }
@@ -269,6 +271,29 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   return result;
 }
 
+std::vector<std::optional<PipelineResult>> analyzeBatch(const std::vector<BatchItem>& batch,
+                                                        std::size_t jobs) {
+  obs::Span span("pipeline.analyze_batch");
+  obs::metrics().counter("ad.driver.batch_items").add(static_cast<std::int64_t>(batch.size()));
+  obs::Counter& errors = obs::metrics().counter("ad.driver.batch_errors");
+
+  std::vector<std::optional<PipelineResult>> results(batch.size());
+  support::ThreadPool pool(jobs == 0 ? 1 : jobs);
+  support::TaskGroup group(pool);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    group.run([&batch, &results, &errors, &pool, i] {
+      const BatchItem& item = batch[i];
+      try {
+        results[i].emplace(analyzeAndSimulate(*item.program, item.config, &pool));
+      } catch (const std::exception&) {
+        errors.add(1);  // result stays nullopt; the caller decides severity
+      }
+    });
+  }
+  group.wait();
+  return results;
+}
+
 std::string PipelineResult::report(const ir::Program& program) const {
   std::ostringstream os;
   os << "=== LCG ===\n" << lcg.str();
@@ -291,9 +316,11 @@ std::string PipelineResult::report(const ir::Program& program) const {
     os << "  " << s.array() << ": " << s.messageCount() << " msgs, " << s.totalWords()
        << " words\n";
   }
-  os << "\n=== Simulated execution (H = " << processors << ") ===\n";
-  os << "LCG-derived plan:\n" << planned.str();
-  os << "  efficiency = " << plannedEfficiency() << "\n";
+  if (!planned.phases.empty()) {
+    os << "\n=== Simulated execution (H = " << processors << ") ===\n";
+    os << "LCG-derived plan:\n" << planned.str();
+    os << "  efficiency = " << plannedEfficiency() << "\n";
+  }
   if (!naive.phases.empty()) {
     os << "Naive BLOCK baseline:\n" << naive.str();
     os << "  efficiency = " << naiveEfficiency() << "\n";

@@ -23,6 +23,10 @@
 #include "lcg/lcg.hpp"
 #include "sim/trace_sim.hpp"
 
+namespace ad::support {
+class ThreadPool;
+}  // namespace ad::support
+
 namespace ad::driver {
 
 struct PipelineConfig {
@@ -31,6 +35,11 @@ struct PipelineConfig {
   ilp::CostParams costs;
   dsm::MachineParams machine;     ///< machine.processors is overridden by `processors`
 
+  /// Replay the derived plan on the DSM cost model. Disable for analysis-only
+  /// runs (the batched engine and the scaling bench), which need the LCG /
+  /// ILP / plan but not the measured efficiencies.
+  bool simulatePlan = true;
+
   /// Also simulate the naive BLOCK/BLOCK baseline for comparison.
   bool simulateBaseline = true;
 
@@ -38,6 +47,11 @@ struct PipelineConfig {
   /// trace simulator (one thread per simulated processor) and cross-check the
   /// observed communication against the LCG's Theorem-1/2 edge labels.
   bool traceSimulate = false;
+
+  /// Worker threads for the batched engine (analyzeBatch). Within a single
+  /// analyzeAndSimulate call this many workers also pick up the per-array
+  /// analysis tasks when a pool is supplied.
+  std::size_t jobs = 1;
 };
 
 /// Everything the pipeline produces. Valid only while the analyzed Program
@@ -72,8 +86,27 @@ struct PipelineResult {
                                             const dsm::MachineParams& machine = {});
 
 /// Runs the whole flow. Throws AnalysisError/ProgramError on unanalyzable
-/// inputs; an infeasible ILP falls back to per-phase greedy chunks.
+/// inputs; an infeasible ILP falls back to per-phase greedy chunks. When a
+/// pool is supplied, per-array descriptor simplification and edge
+/// classification run as concurrent tasks on it (the output is byte-identical
+/// to the serial run).
 [[nodiscard]] PipelineResult analyzeAndSimulate(const ir::Program& program,
-                                                const PipelineConfig& config);
+                                                const PipelineConfig& config,
+                                                support::ThreadPool* pool = nullptr);
+
+/// One entry of a batched-analysis request: a program plus its configuration.
+/// The program must outlive the returned results (the LCG references it).
+struct BatchItem {
+  const ir::Program* program = nullptr;
+  PipelineConfig config;
+};
+
+/// Batched engine: analyzes every item on a work-stealing pool with `jobs`
+/// workers — one task per item, which itself fans out per-array subtasks onto
+/// the same pool. Items that throw produce nullopt (the first few errors are
+/// reported on the ad.driver.batch_errors counter); results are returned in
+/// input order and are byte-identical to serial runs at any `jobs`.
+[[nodiscard]] std::vector<std::optional<PipelineResult>> analyzeBatch(
+    const std::vector<BatchItem>& batch, std::size_t jobs);
 
 }  // namespace ad::driver

@@ -1,0 +1,24 @@
+// Canonical serialization of pipeline outputs for the golden-file and
+// determinism test layers.
+//
+// serializeGolden renders the analysis-side results — the LCG (nodes,
+// attributes, edge labels, balanced conditions) and the derived execution
+// plan (iteration chunks, data distributions, halos) — as deterministic,
+// byte-stable JSON: integers and strings only (never floating point), objects
+// emitted in a fixed order, arrays in program order. Two runs of the engine
+// agree on the analysis iff their serializations are byte-identical, which is
+// exactly the property the determinism test asserts across thread counts.
+#pragma once
+
+#include <string>
+
+#include "driver/pipeline.hpp"
+
+namespace ad::driver {
+
+/// Byte-stable JSON rendering of the analysis results in `result` (LCG +
+/// execution plan). `program` must be the program the pipeline analyzed.
+[[nodiscard]] std::string serializeGolden(const PipelineResult& result,
+                                          const ir::Program& program);
+
+}  // namespace ad::driver

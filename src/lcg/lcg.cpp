@@ -6,6 +6,7 @@
 #include "obs/obs.hpp"
 #include "support/diagnostics.hpp"
 #include "support/string_utils.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ad::lcg {
 
@@ -103,9 +104,19 @@ std::string LCG::dot() const {
 
 LCG buildLCG(const ir::Program& program, const std::map<sym::SymbolId, std::int64_t>& params,
              std::int64_t processors) {
+  return buildLCG(program, params, processors, nullptr);
+}
+
+LCG buildLCG(const ir::Program& program, const std::map<sym::SymbolId, std::int64_t>& params,
+             std::int64_t processors, support::ThreadPool* pool) {
   obs::Span span("lcg.build");
-  std::vector<ArrayGraph> graphs;
-  for (const auto& arr : program.arrays()) {
+  const auto& arrays = program.arrays();
+  // One slot per declared array, filled independently (possibly in parallel);
+  // pruning and tallying happen after the join, in declaration order, so the
+  // result is identical regardless of task interleaving.
+  std::vector<ArrayGraph> slots(arrays.size());
+  const auto buildArrayGraph = [&](std::size_t slot) {
+    const auto& arr = arrays[slot];
     ArrayGraph g;
     g.array = arr.name;
     for (std::size_t k = 0; k < program.phases().size(); ++k) {
@@ -141,6 +152,19 @@ LCG buildLCG(const ir::Program& program, const std::map<sym::SymbolId, std::int6
     };
     for (std::size_t n = 0; n + 1 < g.nodes.size(); ++n) addEdge(n, n + 1, false);
     if (program.cyclic() && g.nodes.size() > 1) addEdge(g.nodes.size() - 1, 0, true);
+    slots[slot] = std::move(g);
+  };
+  if (pool != nullptr && arrays.size() > 1) {
+    support::TaskGroup group(*pool);
+    for (std::size_t a = 0; a < arrays.size(); ++a) {
+      group.run([&buildArrayGraph, a] { buildArrayGraph(a); });
+    }
+    group.wait();
+  } else {
+    for (std::size_t a = 0; a < arrays.size(); ++a) buildArrayGraph(a);
+  }
+  std::vector<ArrayGraph> graphs;
+  for (auto& g : slots) {
     if (!g.nodes.empty()) graphs.push_back(std::move(g));
   }
   // Table-1 label tallies, per build (keys registered even when zero).

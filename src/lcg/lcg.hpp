@@ -18,6 +18,10 @@
 
 #include "locality/analysis.hpp"
 
+namespace ad::support {
+class ThreadPool;
+}  // namespace ad::support
+
 namespace ad::lcg {
 
 struct Node {
@@ -73,5 +77,14 @@ class LCG {
 [[nodiscard]] LCG buildLCG(const ir::Program& program,
                            const std::map<sym::SymbolId, std::int64_t>& params,
                            std::int64_t processors);
+
+/// Parallel variant: per-array graph construction (descriptor simplification
+/// and Theorem-1/2 edge classification) runs as independent tasks on `pool`.
+/// The result is byte-identical to the serial build — tasks fill pre-sized
+/// slots in declaration order and the label tallies are accumulated after the
+/// join. `pool == nullptr` falls back to the serial path.
+[[nodiscard]] LCG buildLCG(const ir::Program& program,
+                           const std::map<sym::SymbolId, std::int64_t>& params,
+                           std::int64_t processors, support::ThreadPool* pool);
 
 }  // namespace ad::lcg

@@ -1,0 +1,179 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace ad::support {
+
+namespace {
+
+// Which pool (if any) the current thread is a worker of, and its index.
+// Lets submit() route tasks from workers onto their own deque and take()
+// start stealing from the right place; distinguishes nested/other pools.
+thread_local const ThreadPool* tlPool = nullptr;
+thread_local std::size_t tlWorker = 0;
+
+}  // namespace
+
+std::size_t ThreadPool::hardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t requested = threads == 0 ? 1 : threads;
+  const std::size_t n = std::min(requested, hardwareConcurrency());
+  count_ = n;
+  queues_.reserve(n + 1);
+  for (std::size_t i = 0; i < n + 1; ++i) queues_.push_back(std::make_unique<Queue>());
+  obs::metrics().counter("ad.pool.tasks");
+  obs::metrics().counter("ad.pool.steals");
+  obs::metrics().gauge("ad.pool.threads").set(static_cast<std::int64_t>(n));
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  idleCv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t slot =
+      (tlPool == this) ? tlWorker : count_;  // own deque or injection queue
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->mu);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  idleCv_.notify_one();
+}
+
+std::function<void()> ThreadPool::take(std::size_t index) {
+  // Own deque, newest first: nested fan-out keeps its working set hot.
+  if (index < count_) {
+    Queue& own = *queues_[index];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      auto task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  // Injected work, oldest first.
+  {
+    Queue& inj = *queues_[count_];
+    std::lock_guard<std::mutex> lock(inj.mu);
+    if (!inj.tasks.empty()) {
+      auto task = std::move(inj.tasks.front());
+      inj.tasks.pop_front();
+      return task;
+    }
+  }
+  // Steal from a victim, oldest first (the opposite end from the owner's
+  // LIFO pops, minimizing contention and grabbing the largest subtrees).
+  const std::size_t n = count_;
+  const std::size_t start = stealSeed_.fetch_add(1, std::memory_order_relaxed) % (n == 0 ? 1 : n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (start + k) % n;
+    if (victim == index) continue;
+    Queue& q = *queues_[victim];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      auto task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      obs::metrics().counter("ad.pool.steals").add(1);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::runTask(std::function<void()>& task) {
+  pending_.fetch_sub(1, std::memory_order_release);
+  obs::Span span("pool.task", "pool");
+  obs::metrics().counter("ad.pool.tasks").add(1);
+  task();
+}
+
+bool ThreadPool::runOneTask() {
+  const std::size_t index = (tlPool == this) ? tlWorker : count_;
+  auto task = take(index);
+  if (!task) return false;
+  runTask(task);
+  return true;
+}
+
+void ThreadPool::workerLoop(std::size_t index) {
+  tlPool = this;
+  tlWorker = index;
+  while (true) {
+    if (auto task = take(index)) {
+      runTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idleMu_);
+    idleCv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+  }
+  tlPool = nullptr;
+}
+
+TaskGroup::~TaskGroup() {
+  // Best effort: a group abandoned mid-flight (e.g. stack unwinding after an
+  // unrelated exception) must still not leave tasks referencing dead frames.
+  if (pending_.load(std::memory_order_acquire) > 0) {
+    try {
+      wait();
+    } catch (...) {  // NOLINT(bugprone-empty-catch): destructor must not throw
+    }
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_release);
+  pool_->submit([this, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::wait() {
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (pool_->runOneTask()) continue;
+    // Nothing runnable here: our remaining tasks are executing on other
+    // workers. Sleep briefly; the finishing task notifies.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::milliseconds(1),
+                 [this] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace ad::support

@@ -1,0 +1,219 @@
+#include "symbolic/intern.hpp"
+
+#include "obs/obs.hpp"
+
+namespace ad::sym {
+
+// ---------------------------------------------------------------------------
+// Serialization & fingerprints
+// ---------------------------------------------------------------------------
+
+void serializeExpr(const Expr& e, std::string& out) {
+  out += '(';
+  for (const auto& m : e.terms()) {
+    out += std::to_string(m.coeff().num());
+    out += '/';
+    out += std::to_string(m.coeff().den());
+    for (const auto& f : m.symbols()) {
+      out += 's';
+      out += std::to_string(f.id);
+      out += '^';
+      out += std::to_string(f.power);
+    }
+    if (m.hasPow2()) {
+      out += 'p';
+      serializeExpr(m.pow2Exponent(), out);
+    }
+    out += ';';
+  }
+  out += ')';
+}
+
+std::uint64_t fingerprintExpr(const Expr& e) {
+  // FNV-1a over the structural pieces; no allocation.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& m : e.terms()) {
+    mix(static_cast<std::uint64_t>(m.coeff().num()));
+    mix(static_cast<std::uint64_t>(m.coeff().den()));
+    for (const auto& f : m.symbols()) {
+      mix((static_cast<std::uint64_t>(f.id) << 8) | static_cast<std::uint64_t>(f.power & 0xff));
+    }
+    if (m.hasPow2()) mix(fingerprintExpr(m.pow2Exponent()) | 1ULL);
+  }
+  return h;
+}
+
+std::string serializeAssumptions(const Assumptions& a) {
+  // Everything the prover reads: per-symbol kind + effective bounds (the
+  // kind-based defaults included, through lower()/upper()), then the facts.
+  std::string out;
+  const SymbolTable& table = a.table();
+  for (SymbolId id = 0; id < table.size(); ++id) {
+    out += 'k';
+    out += std::to_string(static_cast<int>(table.kind(id)));
+    if (const auto lo = a.lower(id)) {
+      out += 'L';
+      serializeExpr(*lo, out);
+    }
+    if (const auto hi = a.upper(id)) {
+      out += 'U';
+      serializeExpr(*hi, out);
+    }
+    out += '|';
+  }
+  for (const Expr& f : a.facts()) {
+    out += 'F';
+    serializeExpr(f, out);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ExprIntern
+// ---------------------------------------------------------------------------
+
+ExprIntern& ExprIntern::global() {
+  static ExprIntern instance;
+  return instance;
+}
+
+std::shared_ptr<const Expr> ExprIntern::intern(const Expr& e) {
+  Shard& shard = shards_[fingerprintExpr(e) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.byValue.find(e);
+  if (it == shard.byValue.end()) {
+    it = shard.byValue.emplace(e, std::make_shared<const Expr>(e)).first;
+    obs::metrics().gauge("ad.intern.exprs").set(static_cast<std::int64_t>(size()));
+  }
+  return it->second;
+}
+
+std::size_t ExprIntern::size() const {
+  // Lock-free-ish sum: shards are counted under their own locks elsewhere;
+  // callers treat this as a statistic, exactness is not required while
+  // writers are active.
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard.byValue.size();
+  return n;
+}
+
+void ExprIntern::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.byValue.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProofMemoContext
+// ---------------------------------------------------------------------------
+
+std::optional<bool> ProofMemoContext::lookupBool(Op op, const Expr& e) {
+  Shard& shard = shardFor(e);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto it = shard.bools.find(Key{op, e}); it != shard.bools.end()) return it->second;
+  return std::nullopt;
+}
+
+void ProofMemoContext::storeBool(Op op, const Expr& e, bool value) {
+  Shard& shard = shardFor(e);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.bools.emplace(Key{op, e}, value);
+}
+
+std::optional<std::optional<int>> ProofMemoContext::lookupSign(const Expr& e) {
+  Shard& shard = shardFor(e);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto it = shard.signs.find(e); it != shard.signs.end()) return it->second;
+  return std::nullopt;
+}
+
+void ProofMemoContext::storeSign(const Expr& e, std::optional<int> value) {
+  Shard& shard = shardFor(e);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.signs.emplace(e, value);
+}
+
+std::optional<std::optional<Expr>> ProofMemoContext::lookupExpr(Op op, const Expr& e) {
+  Shard& shard = shardFor(e);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto it = shard.exprs.find(Key{op, e}); it != shard.exprs.end()) return it->second;
+  return std::nullopt;
+}
+
+void ProofMemoContext::storeExpr(Op op, const Expr& e, const std::optional<Expr>& value) {
+  Shard& shard = shardFor(e);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.exprs.emplace(Key{op, e}, value);
+}
+
+std::size_t ProofMemoContext::entries() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.bools.size() + shard.signs.size() + shard.exprs.size();
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// ProofMemo
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<bool> gMemoEnabled{true};
+}  // namespace
+
+ProofMemo& ProofMemo::global() {
+  static ProofMemo instance;
+  return instance;
+}
+
+bool ProofMemo::enabled() { return gMemoEnabled.load(std::memory_order_relaxed); }
+void ProofMemo::setEnabled(bool on) { gMemoEnabled.store(on, std::memory_order_relaxed); }
+
+std::shared_ptr<ProofMemoContext> ProofMemo::context(const Assumptions& a) {
+  const std::string key = serializeAssumptions(a);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = contexts_.find(key);
+  if (it == contexts_.end()) {
+    it = contexts_.emplace(key, std::make_shared<ProofMemoContext>()).first;
+    obs::metrics().gauge("ad.intern.contexts").set(static_cast<std::int64_t>(contexts_.size()));
+  }
+  return it->second;
+}
+
+ProofMemo::Stats ProofMemo::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.contexts = static_cast<std::int64_t>(contexts_.size());
+  }
+  return s;
+}
+
+void ProofMemo::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  contexts_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  obs::metrics().gauge("ad.intern.contexts").set(0);
+}
+
+void ProofMemo::recordHit() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics().counter("ad.intern.proof_hits").add(1);
+}
+
+void ProofMemo::recordMiss() {
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics().counter("ad.intern.proof_misses").add(1);
+}
+
+}  // namespace ad::sym

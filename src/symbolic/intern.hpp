@@ -1,0 +1,178 @@
+// Interned symbolic expressions and the memoized proof/simplification cache.
+//
+// The descriptor algebra asks the RangeAnalyzer the same questions over and
+// over: every (phase, array) pair of a code rebuilds an analyzer over the
+// *same* per-phase assumptions, and the batched engine analyzes whole suites
+// where stride/offset families (TFFT2's 2^(L-1) * J, P * 2^-L, ...) recur
+// across arrays, phases, codes, and processor counts. This module
+// deduplicates that work process-wide:
+//
+//  - ExprIntern: a sharded arena of canonical Expr instances, keyed by the
+//    normal form, so repeated stride/offset expressions are materialized once
+//    and memo tables share storage.
+//
+//  - ProofMemo: a registry of per-context caches of RangeAnalyzer results.
+//    A "context" is the exact serialization of an Assumptions set (symbol
+//    kinds, effective bounds, facts) — two analyzers with identical
+//    serializations are behaviorally identical, so their answers are
+//    interchangeable. Each cached value is computed from *fresh* scratch
+//    state with the full depth budget (see RangeAnalyzer), making it a pure
+//    function of (context, query): hits return byte-identical answers at any
+//    thread count and interleaving, which is what lets the parallel engine
+//    be proven output-identical to the serial one.
+//
+// Both structures are sharded and mutex-protected (safe under TSan); cache
+// traffic is exported to the ad.metrics.v1 registry as
+// ad.intern.proof_hits / ad.intern.proof_misses / ad.intern.contexts /
+// ad.intern.exprs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "symbolic/ranges.hpp"
+
+namespace ad::sym {
+
+/// Deterministic structural fingerprint of a normal form (used to pick
+/// shards; collisions are fine — correctness never keys on it alone).
+[[nodiscard]] std::uint64_t fingerprintExpr(const Expr& e);
+
+/// Canonical serialization of a normal form over symbol ids. Injective:
+/// equal strings <=> equal Exprs (relative to one symbol table).
+void serializeExpr(const Expr& e, std::string& out);
+
+/// Exact serialization of everything a RangeAnalyzer reads from an
+/// Assumptions set: per-symbol kind and effective lower/upper bounds, plus
+/// the registered facts. Equal strings => behaviorally identical provers.
+[[nodiscard]] std::string serializeAssumptions(const Assumptions& a);
+
+// ---------------------------------------------------------------------------
+// ExprIntern
+// ---------------------------------------------------------------------------
+
+class ExprIntern {
+ public:
+  static ExprIntern& global();
+
+  /// Canonical shared instance of `e`'s normal form.
+  [[nodiscard]] std::shared_ptr<const Expr> intern(const Expr& e);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<Expr, std::shared_ptr<const Expr>> byValue;
+  };
+  Shard shards_[kShards];
+};
+
+// ---------------------------------------------------------------------------
+// ProofMemo
+// ---------------------------------------------------------------------------
+
+/// Memoized RangeAnalyzer answers for one assumptions context. Thread-safe.
+class ProofMemoContext {
+ public:
+  enum class Op : std::uint8_t {
+    kNonNegative,    ///< proveNonNegative(e)
+    kPositive,       ///< provePositive(e)
+    kIntegerValued,  ///< proveIntegerValued(e)
+    kSign,           ///< sign(e)
+    kUpperBound,     ///< upperBoundExpr(e)
+    kLowerBound,     ///< lowerBoundExpr(e)
+  };
+
+  [[nodiscard]] std::optional<bool> lookupBool(Op op, const Expr& e);
+  void storeBool(Op op, const Expr& e, bool value);
+  [[nodiscard]] std::optional<std::optional<int>> lookupSign(const Expr& e);
+  void storeSign(const Expr& e, std::optional<int> value);
+  [[nodiscard]] std::optional<std::optional<Expr>> lookupExpr(Op op, const Expr& e);
+  void storeExpr(Op op, const Expr& e, const std::optional<Expr>& value);
+
+  [[nodiscard]] std::size_t entries() const;
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct Key {
+    Op op;
+    Expr expr;
+    bool operator<(const Key& o) const {
+      if (op != o.op) return op < o.op;
+      return expr.compare(o.expr) < 0;
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<Key, bool> bools;
+    std::map<Expr, std::optional<int>> signs;
+    std::map<Key, std::optional<Expr>> exprs;
+  };
+  [[nodiscard]] Shard& shardFor(const Expr& e) {
+    return shards_[fingerprintExpr(e) % kShards];
+  }
+  Shard shards_[kShards];
+};
+
+class ProofMemo {
+ public:
+  static ProofMemo& global();
+
+  /// Enabled by default; tests and the serial-baseline bench leg disable it.
+  /// Disabling only stops *new* RangeAnalyzers from attaching to the memo.
+  [[nodiscard]] static bool enabled();
+  static void setEnabled(bool on);
+
+  /// The shared cache for this assumptions context (created on first use).
+  [[nodiscard]] std::shared_ptr<ProofMemoContext> context(const Assumptions& a);
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t contexts = 0;
+
+    [[nodiscard]] double hitRate() const {
+      const double total = static_cast<double>(hits + misses);
+      return total == 0.0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops every context and zeroes the hit/miss tallies (bench legs and
+  /// property tests use this to measure cold-vs-warm behavior).
+  void clear();
+
+  // Called by RangeAnalyzer on every memo probe (also mirrored to metrics).
+  void recordHit();
+  void recordMiss();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<ProofMemoContext>> contexts_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+};
+
+/// RAII enable/disable for tests: restores the previous state on scope exit.
+class ProofMemoEnabledGuard {
+ public:
+  explicit ProofMemoEnabledGuard(bool on) : previous_(ProofMemo::enabled()) {
+    ProofMemo::setEnabled(on);
+  }
+  ~ProofMemoEnabledGuard() { ProofMemo::setEnabled(previous_); }
+  ProofMemoEnabledGuard(const ProofMemoEnabledGuard&) = delete;
+  ProofMemoEnabledGuard& operator=(const ProofMemoEnabledGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace ad::sym

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/diagnostics.hpp"
+#include "symbolic/intern.hpp"
 
 namespace ad::sym {
 
@@ -92,6 +93,20 @@ StrippedContent stripContent(const Expr& e) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// RangeAnalyzer — construction & memo plumbing
+// ---------------------------------------------------------------------------
+
+RangeAnalyzer::RangeAnalyzer(const Assumptions& assumptions) : asm_(&assumptions) {
+  if (ProofMemo::enabled()) memo_ = ProofMemo::global().context(assumptions);
+}
+
+void RangeAnalyzer::resetScratch() const {
+  nnCache_.clear();
+  posCache_.clear();
+  boundCache_.clear();
+}
 
 // ---------------------------------------------------------------------------
 // RangeAnalyzer — sign proving
@@ -205,10 +220,35 @@ bool RangeAnalyzer::provePosImpl(const Expr& e, int depth) const {
   return conclude(false);
 }
 
-bool RangeAnalyzer::proveNonNegative(const Expr& e) const { return proveNNImpl(e, kMaxDepth); }
-bool RangeAnalyzer::proveNonPositive(const Expr& e) const { return proveNNImpl(-e, kMaxDepth); }
-bool RangeAnalyzer::provePositive(const Expr& e) const { return provePosImpl(e, kMaxDepth); }
-bool RangeAnalyzer::proveNegative(const Expr& e) const { return provePosImpl(-e, kMaxDepth); }
+bool RangeAnalyzer::proveNonNegative(const Expr& e) const {
+  if (!memo_) return proveNNImpl(e, kMaxDepth);
+  if (auto hit = memo_->lookupBool(ProofMemoContext::Op::kNonNegative, e)) {
+    ProofMemo::global().recordHit();
+    return *hit;
+  }
+  ProofMemo::global().recordMiss();
+  resetScratch();
+  const bool result = proveNNImpl(e, kMaxDepth);
+  memo_->storeBool(ProofMemoContext::Op::kNonNegative, e, result);
+  return result;
+}
+
+bool RangeAnalyzer::proveNonPositive(const Expr& e) const { return proveNonNegative(-e); }
+
+bool RangeAnalyzer::provePositive(const Expr& e) const {
+  if (!memo_) return provePosImpl(e, kMaxDepth);
+  if (auto hit = memo_->lookupBool(ProofMemoContext::Op::kPositive, e)) {
+    ProofMemo::global().recordHit();
+    return *hit;
+  }
+  ProofMemo::global().recordMiss();
+  resetScratch();
+  const bool result = provePosImpl(e, kMaxDepth);
+  memo_->storeBool(ProofMemoContext::Op::kPositive, e, result);
+  return result;
+}
+
+bool RangeAnalyzer::proveNegative(const Expr& e) const { return provePositive(-e); }
 
 std::optional<int> RangeAnalyzer::signImpl(const Expr& e, int depth) const {
   if (auto c = e.asConstant()) return c->sign();
@@ -219,18 +259,47 @@ std::optional<int> RangeAnalyzer::signImpl(const Expr& e, int depth) const {
   return std::nullopt;
 }
 
-std::optional<int> RangeAnalyzer::sign(const Expr& e) const { return signImpl(e, kMaxDepth); }
+std::optional<int> RangeAnalyzer::sign(const Expr& e) const {
+  if (!memo_) return signImpl(e, kMaxDepth);
+  if (auto hit = memo_->lookupSign(e)) {
+    ProofMemo::global().recordHit();
+    return *hit;
+  }
+  ProofMemo::global().recordMiss();
+  resetScratch();
+  const std::optional<int> result = signImpl(e, kMaxDepth);
+  memo_->storeSign(e, result);
+  return result;
+}
 
 // ---------------------------------------------------------------------------
 // RangeAnalyzer — bounds
 // ---------------------------------------------------------------------------
 
 std::optional<Expr> RangeAnalyzer::upperBoundExpr(const Expr& e) const {
-  return bound(e, Mode::kUpper, /*indicesOnly=*/true, kMaxDepth);
+  if (!memo_) return bound(e, Mode::kUpper, /*indicesOnly=*/true, kMaxDepth);
+  if (auto hit = memo_->lookupExpr(ProofMemoContext::Op::kUpperBound, e)) {
+    ProofMemo::global().recordHit();
+    return *hit;
+  }
+  ProofMemo::global().recordMiss();
+  resetScratch();
+  const std::optional<Expr> result = bound(e, Mode::kUpper, /*indicesOnly=*/true, kMaxDepth);
+  memo_->storeExpr(ProofMemoContext::Op::kUpperBound, e, result);
+  return result;
 }
 
 std::optional<Expr> RangeAnalyzer::lowerBoundExpr(const Expr& e) const {
-  return bound(e, Mode::kLower, /*indicesOnly=*/true, kMaxDepth);
+  if (!memo_) return bound(e, Mode::kLower, /*indicesOnly=*/true, kMaxDepth);
+  if (auto hit = memo_->lookupExpr(ProofMemoContext::Op::kLowerBound, e)) {
+    ProofMemo::global().recordHit();
+    return *hit;
+  }
+  ProofMemo::global().recordMiss();
+  resetScratch();
+  const std::optional<Expr> result = bound(e, Mode::kLower, /*indicesOnly=*/true, kMaxDepth);
+  memo_->storeExpr(ProofMemoContext::Op::kLowerBound, e, result);
+  return result;
 }
 
 std::optional<Expr> RangeAnalyzer::boundEliminating(const Expr& e, SymbolId victim, Mode mode,
@@ -346,6 +415,20 @@ std::optional<Expr> RangeAnalyzer::bound(const Expr& e, Mode mode, bool indicesO
 // ---------------------------------------------------------------------------
 
 bool RangeAnalyzer::proveIntegerValued(const Expr& e) const {
+  if (!memo_) return integerValuedImpl(e);
+  if (auto hit = memo_->lookupBool(ProofMemoContext::Op::kIntegerValued, e)) {
+    ProofMemo::global().recordHit();
+    return *hit;
+  }
+  ProofMemo::global().recordMiss();
+  // No resetScratch here: the impl only issues public proveNonNegative
+  // queries, each of which is itself a memo probe.
+  const bool result = integerValuedImpl(e);
+  memo_->storeBool(ProofMemoContext::Op::kIntegerValued, e, result);
+  return result;
+}
+
+bool RangeAnalyzer::integerValuedImpl(const Expr& e) const {
   for (const auto& m : e.terms()) {
     const Rational& c = m.coeff();
     if (c.isInteger()) continue;

@@ -13,11 +13,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "symbolic/expr.hpp"
 
 namespace ad::sym {
+
+class ProofMemoContext;
 
 /// Per-symbol interval assumptions. Bounds are Exprs and may reference other
 /// symbols (e.g. the TFFT2 J loop has upper bound P*2^-L - 1, which mentions
@@ -58,7 +61,14 @@ class Assumptions {
 
 class RangeAnalyzer {
  public:
-  explicit RangeAnalyzer(const Assumptions& assumptions) : asm_(&assumptions) {}
+  /// When the process-wide ProofMemo is enabled, the analyzer attaches to the
+  /// shared cache for this assumptions context: public queries are answered
+  /// from the memo when possible, and misses are computed from fresh scratch
+  /// state with the full depth budget before being published — making every
+  /// cached answer a pure function of (assumptions, query), identical at any
+  /// thread count. With the memo disabled this is exactly the legacy
+  /// accumulate-as-you-go analyzer.
+  explicit RangeAnalyzer(const Assumptions& assumptions);
 
   /// Sound upper/lower bound of `e` over the assumed ranges, eliminating only
   /// loop-index symbols; the result is an Expr over the remaining symbols
@@ -101,6 +111,11 @@ class RangeAnalyzer {
   [[nodiscard]] std::optional<int> signImpl(const Expr& e, int depth) const;
   [[nodiscard]] bool proveNNImpl(const Expr& e, int depth) const;
   [[nodiscard]] bool provePosImpl(const Expr& e, int depth) const;
+  [[nodiscard]] bool integerValuedImpl(const Expr& e) const;
+
+  /// Drops the per-analyzer scratch caches so a memo-miss computation starts
+  /// from a clean slate (see the constructor comment).
+  void resetScratch() const;
 
   // Proof caches, keyed by the queried expression. Caching "true" is sound;
   // caching "false" (= not proven) can only make the analysis more
@@ -127,6 +142,7 @@ class RangeAnalyzer {
   [[nodiscard]] bool symbolPositive(SymbolId id, int depth) const;
 
   const Assumptions* asm_;
+  std::shared_ptr<ProofMemoContext> memo_;  ///< null when the memo is disabled
 };
 
 }  // namespace ad::sym

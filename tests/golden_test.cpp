@@ -1,0 +1,102 @@
+// Golden-file regression suite for the analysis engine.
+//
+// For every code of the six-code suite, the serialized LCG (nodes, edge
+// labels, balanced conditions) and distribution plan must match the checked-in
+// snapshot byte for byte. Any analysis change — intended or not — shows up as
+// a readable JSON diff.
+//
+// To refresh after an intended change:  scripts/update_goldens.sh
+// (or AD_UPDATE_GOLDENS=1 ./build/tests/golden_test).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "codes/suite.hpp"
+#include "driver/pipeline.hpp"
+#include "driver/serialize.hpp"
+#include "symbolic/intern.hpp"
+
+namespace ad {
+namespace {
+
+std::string goldenPath(const std::string& code) {
+  return std::string(AD_GOLDEN_DIR) + "/" + code + ".json";
+}
+
+std::optional<std::string> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Analysis-only pipeline run for one suite code at its small sizes, H = 8.
+driver::PipelineResult analyzeCode(const codes::CodeInfo& info, const ir::Program& program) {
+  driver::PipelineConfig config;
+  config.params = codes::bindParams(program, info.smallParams);
+  config.processors = 8;
+  config.simulatePlan = false;
+  config.simulateBaseline = false;
+  return driver::analyzeAndSimulate(program, config);
+}
+
+class GoldenFile : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenFile, AnalysisMatchesSnapshot) {
+  const codes::CodeInfo& info = codes::benchmarkSuite()[GetParam()];
+  const ir::Program program = info.build();
+  const auto result = analyzeCode(info, program);
+  const std::string got = driver::serializeGolden(result, program);
+
+  const std::string path = goldenPath(info.name);
+  if (const char* update = std::getenv("AD_UPDATE_GOLDENS"); update && *update == '1') {
+    std::ofstream out(path, std::ios::binary);
+    out << got;
+    ASSERT_TRUE(out) << "could not write " << path;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+
+  const auto want = readFile(path);
+  ASSERT_TRUE(want) << "missing golden file " << path
+                    << " — run scripts/update_goldens.sh";
+  EXPECT_EQ(*want, got) << "analysis output for " << info.name
+                        << " diverged from the golden snapshot; if the change "
+                           "is intended, run scripts/update_goldens.sh";
+}
+
+// The memoized engine must agree with the legacy (memo-disabled) analyzer on
+// every code: the shared-cache answers are computed from fresh scratch state,
+// so enabling the cache may only change speed, never output.
+TEST_P(GoldenFile, MemoizedMatchesLegacy) {
+  const codes::CodeInfo& info = codes::benchmarkSuite()[GetParam()];
+  const ir::Program program = info.build();
+
+  std::string legacy;
+  {
+    sym::ProofMemoEnabledGuard off(false);
+    legacy = driver::serializeGolden(analyzeCode(info, program), program);
+  }
+  std::string memoized;
+  {
+    sym::ProofMemoEnabledGuard on(true);
+    sym::ProofMemo::global().clear();  // cold cache: every answer computed here
+    memoized = driver::serializeGolden(analyzeCode(info, program), program);
+    // And warm: answered from the cache populated by the run above.
+    const std::string warm = driver::serializeGolden(analyzeCode(info, program), program);
+    EXPECT_EQ(memoized, warm);
+  }
+  EXPECT_EQ(legacy, memoized) << info.name;
+}
+
+std::string codeName(const ::testing::TestParamInfo<std::size_t>& p) {
+  return codes::benchmarkSuite()[p.param].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, GoldenFile,
+                         ::testing::Range<std::size_t>(0, 6), codeName);
+
+}  // namespace
+}  // namespace ad

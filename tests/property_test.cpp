@@ -10,11 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <set>
 
 #include "descriptors/iteration_descriptor.hpp"
+#include "descriptors/phase_descriptor.hpp"
 #include "ilp/model.hpp"
 #include "ir/walker.hpp"
 #include "symbolic/diophantine.hpp"
+#include "symbolic/intern.hpp"
 #include "symbolic/ranges.hpp"
 
 namespace ad {
@@ -133,6 +136,76 @@ TEST_P(ProverFuzz, ClaimsHoldOnConcreteDomain) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ProverFuzz, ::testing::Values(1u, 2u, 3u, 4u, 5u));
 
 // ---------------------------------------------------------------------------
+// Memoized prover vs uncached single queries
+// ---------------------------------------------------------------------------
+
+// Every answer served by the shared ProofMemo must equal the answer an
+// uncached analyzer gives to that query in isolation — both on the populating
+// (cold) pass and when replayed from the cache (warm) by a second analyzer
+// attached to the same context.
+class MemoFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MemoFuzz, CachedAnswersMatchUncached) {
+  std::mt19937 rng(GetParam());
+  sym::SymbolTable st;
+  const auto n = st.parameter("N");
+  const auto i = st.index("i");
+  const auto j = st.index("j");
+  sym::Assumptions assumptions(st);
+  assumptions.setRange(i, c(0), Expr::symbol(n) - c(1));
+  assumptions.setRange(j, c(0), Expr::symbol(i));
+  assumptions.addFact(Expr::symbol(n) - c(1));
+
+  sym::ProofMemoEnabledGuard on(true);
+  sym::ProofMemo::global().clear();
+  const sym::RangeAnalyzer cold(assumptions);
+  const sym::RangeAnalyzer warm(assumptions);  // same context, replays hits
+
+  const auto randomExpr = [&](auto&& self, int depth) -> Expr {
+    std::uniform_int_distribution<int> kind(0, depth > 0 ? 5 : 3);
+    switch (kind(rng)) {
+      case 0:
+        return c(std::uniform_int_distribution<int>(-3, 3)(rng));
+      case 1:
+        return Expr::symbol(n);
+      case 2:
+        return Expr::symbol(i);
+      case 3:
+        return Expr::symbol(j);
+      case 4:
+        return self(self, depth - 1) + self(self, depth - 1);
+      default:
+        return self(self, depth - 1) * self(self, depth - 1);
+    }
+  };
+
+  for (int trial = 0; trial < 80; ++trial) {
+    const Expr e = randomExpr(randomExpr, 2) - randomExpr(randomExpr, 2);
+    // One detached analyzer *per query*: the invariant is equality with an
+    // uncached single query, not with a legacy analyzer's accumulated state.
+    sym::ProofMemoEnabledGuard off(false);
+    const auto fresh = [&] { return sym::RangeAnalyzer(assumptions); };
+    EXPECT_EQ(fresh().proveNonNegative(e), cold.proveNonNegative(e)) << e.str(st);
+    EXPECT_EQ(fresh().provePositive(e), cold.provePositive(e)) << e.str(st);
+    EXPECT_EQ(fresh().proveNonPositive(e), cold.proveNonPositive(e)) << e.str(st);
+    EXPECT_EQ(fresh().sign(e), cold.sign(e)) << e.str(st);
+    EXPECT_EQ(fresh().upperBoundExpr(e), cold.upperBoundExpr(e)) << e.str(st);
+    EXPECT_EQ(fresh().lowerBoundExpr(e), cold.lowerBoundExpr(e)) << e.str(st);
+    EXPECT_EQ(fresh().proveIntegerValued(e), cold.proveIntegerValued(e)) << e.str(st);
+    // Warm replay from the now-populated cache.
+    EXPECT_EQ(cold.proveNonNegative(e), warm.proveNonNegative(e)) << e.str(st);
+    EXPECT_EQ(cold.sign(e), warm.sign(e)) << e.str(st);
+    EXPECT_EQ(cold.upperBoundExpr(e), warm.upperBoundExpr(e)) << e.str(st);
+  }
+  // The loop above must have exercised the cache both ways.
+  const auto stats = sym::ProofMemo::global().stats();
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.misses, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoFuzz, ::testing::Values(31u, 32u, 33u, 34u));
+
+// ---------------------------------------------------------------------------
 // Diophantine vs brute force
 // ---------------------------------------------------------------------------
 
@@ -226,6 +299,132 @@ TEST_P(RandomProgramFuzz, IDCoversWalker) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramFuzz, ::testing::Values(21u, 22u, 23u, 24u));
+
+// ---------------------------------------------------------------------------
+// Simplification preserves enumerated address sets
+// ---------------------------------------------------------------------------
+
+/// All addresses a descriptor promises across the whole parallel loop.
+std::set<std::int64_t> enumerateAddresses(const desc::PhaseDescriptor& pd, std::int64_t iTrip,
+                                          const ir::Bindings& params) {
+  const auto id = desc::buildIterationDescriptor(pd);
+  std::set<std::int64_t> all;
+  for (std::int64_t it = 0; it < iTrip; ++it) {
+    for (const std::int64_t a : id.addressesAt(it, params)) all.insert(a);
+  }
+  return all;
+}
+
+class SimplifyFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SimplifyFuzz, CoalesceWidensUnionPreservesExactly) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::int64_t> small(1, 4);
+  std::uniform_int_distribution<std::int64_t> stride(-3, 3);
+  std::uniform_int_distribution<std::int64_t> offs(0, 6);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    ir::Program prog;
+    prog.declareArray("A", c(100000));
+    ir::PhaseBuilder b(prog, "f");
+    const std::int64_t iTrip = small(rng) + 1;
+    const std::int64_t jTrip = small(rng);
+    b.doall("i", c(0), c(iTrip - 1));
+    b.loop("j", c(0), c(jTrip - 1));
+    const Expr iE = b.idx("i");
+    const Expr jE = b.idx("j");
+    const int refs = static_cast<int>(small(rng));
+    for (int r = 0; r < refs; ++r) {
+      const std::int64_t ci = offs(rng) + 1;
+      const std::int64_t cj = stride(rng);
+      const std::int64_t c0 = offs(rng) + (cj < 0 ? -cj * (jTrip - 1) : 0);
+      b.read("A", c(ci) * iE + c(cj) * jE + c(c0));
+    }
+    if (refs == 0) b.read("A", iE);
+    b.commit();
+    prog.validate();
+
+    const auto assumptions = prog.phase(0).assumptions(prog.symbols());
+    const sym::RangeAnalyzer ra(assumptions);
+    const ir::Bindings params;
+
+    desc::PhaseDescriptor pd = desc::buildPhaseDescriptor(prog, 0, "A");
+    const auto raw = enumerateAddresses(pd, iTrip, params);
+
+    // Stride coalescing may only widen (subsumption folds dims into a
+    // containing one): every raw address stays covered.
+    desc::coalesceStrides(pd, ra);
+    const auto coalesced = enumerateAddresses(pd, iTrip, params);
+    for (const std::int64_t a : raw) {
+      ASSERT_TRUE(coalesced.count(a)) << "coalescing dropped " << a << "\n" << prog.str();
+    }
+
+    // Access-descriptor union is exact: duplicate elimination and merging of
+    // abutting same-pattern regions never add or drop a single address.
+    desc::PhaseDescriptor unioned = pd;
+    desc::unionTerms(unioned, ra);
+    const auto merged = enumerateAddresses(unioned, iTrip, params);
+    EXPECT_EQ(coalesced, merged) << prog.str();
+
+    // And the ground-truth access stream stays covered end to end.
+    for (std::int64_t it = 0; it < iTrip; ++it) {
+      for (const std::int64_t a :
+           ir::touchedAddressesInIteration(prog, prog.phase(0), "A", params, it)) {
+        EXPECT_TRUE(merged.count(a)) << "iter " << it << " addr " << a << "\n" << prog.str();
+      }
+    }
+  }
+}
+
+// Homogenization of two shifted same-pattern terms yields a region covering
+// both inputs (it is a union, possibly padded to a common pattern).
+TEST_P(SimplifyFuzz, HomogenizeCoversBothTerms) {
+  std::mt19937 rng(GetParam() + 100);
+  std::uniform_int_distribution<std::int64_t> small(1, 4);
+  std::uniform_int_distribution<std::int64_t> offs(0, 6);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    ir::Program prog;
+    prog.declareArray("A", c(100000));
+    ir::PhaseBuilder b(prog, "f");
+    const std::int64_t iTrip = small(rng) + 1;
+    const std::int64_t jTrip = small(rng);
+    b.doall("i", c(0), c(iTrip - 1));
+    b.loop("j", c(0), c(jTrip - 1));
+    const Expr iE = b.idx("i");
+    const Expr jE = b.idx("j");
+    // Two same-pattern references, shifted by a random distance.
+    const std::int64_t ci = offs(rng) + 1;
+    const std::int64_t cj = small(rng);
+    const std::int64_t base = offs(rng);
+    const std::int64_t shift = offs(rng) + 1;
+    b.read("A", c(ci) * iE + c(cj) * jE + c(base));
+    b.read("A", c(ci) * iE + c(cj) * jE + c(base + shift));
+    b.commit();
+    prog.validate();
+
+    const auto assumptions = prog.phase(0).assumptions(prog.symbols());
+    const sym::RangeAnalyzer ra(assumptions);
+    const ir::Bindings params;
+
+    const desc::PhaseDescriptor pd = desc::buildPhaseDescriptor(prog, 0, "A");
+    ASSERT_EQ(2u, pd.terms().size());
+    const auto merged = desc::homogenize(pd.terms()[0], pd.terms()[1], ra);
+    if (!merged) continue;  // outside the shifted-same-pattern class: nothing to check
+
+    const desc::PhaseDescriptor hpd(pd.array(), pd.phaseIndex(), {*merged});
+    const auto covered = enumerateAddresses(hpd, iTrip, params);
+    for (std::size_t t = 0; t < 2; ++t) {
+      const desc::PhaseDescriptor one(pd.array(), pd.phaseIndex(), {pd.terms()[t]});
+      for (const std::int64_t a : enumerateAddresses(one, iTrip, params)) {
+        EXPECT_TRUE(covered.count(a))
+            << "homogenized region misses " << a << " of term " << t << "\n" << prog.str();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyFuzz, ::testing::Values(41u, 42u, 43u));
 
 // ---------------------------------------------------------------------------
 // ILP solver vs brute force

@@ -1,0 +1,91 @@
+// Work-stealing pool semantics: every submitted task runs exactly once,
+// nested groups drain without deadlock (wait() helps), exceptions surface at
+// the join, and a 1-thread pool still makes progress. Runs under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "support/thread_pool.hpp"
+
+namespace ad {
+namespace {
+
+TEST(ThreadPool, EveryTaskRunsExactlyOnce) {
+  support::ThreadPool pool(4);
+  support::TaskGroup group(pool);
+  std::atomic<int> runs{0};
+  constexpr int kTasks = 500;
+  for (int i = 0; i < kTasks; ++i) {
+    group.run([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(kTasks, runs.load());
+}
+
+TEST(ThreadPool, NestedGroupsDrainWithoutDeadlock) {
+  support::ThreadPool pool(2);
+  support::TaskGroup outer(pool);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 8; ++i) {
+    outer.run([&pool, &runs] {
+      // A per-code task fanning out per-array subtasks onto the same pool:
+      // the inner wait() must help-execute rather than block a worker.
+      support::TaskGroup inner(pool);
+      for (int j = 0; j < 8; ++j) {
+        inner.run([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(64, runs.load());
+}
+
+TEST(ThreadPool, SingleThreadPoolMakesProgress) {
+  support::ThreadPool pool(1);
+  support::TaskGroup outer(pool);
+  std::atomic<int> runs{0};
+  outer.run([&pool, &runs] {
+    support::TaskGroup inner(pool);
+    for (int j = 0; j < 16; ++j) {
+      inner.run([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+    }
+    inner.wait();
+  });
+  outer.wait();
+  EXPECT_EQ(16, runs.load());
+}
+
+TEST(ThreadPool, FirstExceptionRethrownAtJoin) {
+  support::ThreadPool pool(2);
+  support::TaskGroup group(pool);
+  std::atomic<int> survivors{0};
+  for (int i = 0; i < 10; ++i) {
+    group.run([i, &survivors] {
+      if (i == 3) throw std::runtime_error("task failed");
+      survivors.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(9, survivors.load());
+
+  // The pool stays usable after a failed group.
+  support::TaskGroup again(pool);
+  std::atomic<bool> ran{false};
+  again.run([&ran] { ran.store(true, std::memory_order_relaxed); });
+  again.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, RunOneTaskReportsEmptiness) {
+  support::ThreadPool pool(2);
+  EXPECT_FALSE(pool.runOneTask());  // nothing queued
+  // The pool clamps its worker count to [1, hardwareConcurrency()].
+  EXPECT_GE(pool.threadCount(), 1u);
+  EXPECT_LE(pool.threadCount(), 2u);
+  EXPECT_GE(support::ThreadPool::hardwareConcurrency(), 1u);
+}
+
+}  // namespace
+}  // namespace ad
