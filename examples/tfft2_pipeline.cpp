@@ -1,6 +1,7 @@
 // The paper's running example, end to end: the eight-phase TFFT2 section.
 //
-//   run: ./build/examples/tfft2_pipeline [P] [Q] [H] [--simulate] [--jobs N]
+//   run: ./build/examples/tfft2_pipeline [P] [Q] [H] [--simulate] [--suite]
+//            [--jobs N] [--fault SPEC] [--budget-steps N] [--budget-ms N]
 //            [--trace-out=FILE] [--metrics-out=FILE]
 //
 // Prints the LCG of Figure 6, the Table-2 integer program, the chosen
@@ -10,35 +11,44 @@
 //
 // With --simulate, additionally replays the plan on the parallel trace
 // simulator (H real threads, one per simulated processor) and cross-checks
-// the observed local/remote traffic against the Theorem-1/2 edge labels;
-// exits nonzero if the measured locality contradicts the analysis.
+// the observed local/remote traffic against the Theorem-1/2 edge labels.
 //
-// --trace-out writes a Chrome/Perfetto trace-event JSON of every pipeline
-// stage (and, with --simulate, the per-thread per-phase simulator spans);
-// open it at ui.perfetto.dev. --metrics-out writes the ad.metrics.v1
-// counter/gauge/histogram document.
-#include <cerrno>
-#include <cstdlib>
-#include <cstring>
+// With --suite, runs all six benchmark codes as one batch through the
+// non-throwing engine: each item reports ok / degraded / FAILED with its
+// structured status, and one poisoned code never takes down the others.
+//
+// --fault and the AD_FAULT_SPEC environment variable drive the deterministic
+// fault-injection harness; --budget-steps/--budget-ms bound the analysis,
+// degrading it (conservatively, and visibly in the report) instead of
+// failing it. Exit codes, in precedence order:
+//   2 usage error    3 artifact write failed    1 locality validation failed
+//   4 analysis failed    5 degraded but sound    0 clean
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
-#include <string_view>
+#include <vector>
 
 #include "codes/suite.hpp"
 #include "codes/tfft2.hpp"
+#include "driver/cli.hpp"
 #include "driver/pipeline.hpp"
+#include "driver/serialize.hpp"
 #include "obs/obs.hpp"
+#include "support/fault.hpp"
+#include "support/status.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
 
-int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [P] [Q] [H] [--simulate] [--jobs N] [--trace-out=FILE] [--metrics-out=FILE]\n";
-  return 2;
-}
+using namespace ad;
+
+constexpr int kExitValidationFailed = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitWriteFailed = 3;
+constexpr int kExitAnalysisFailed = 4;
+constexpr int kExitDegraded = 5;
 
 bool writeFileOrComplain(const std::string& path, const std::string& content) {
   std::ofstream out(path);
@@ -50,80 +60,161 @@ bool writeFileOrComplain(const std::string& path, const std::string& content) {
   return true;
 }
 
+support::BudgetLimits budgetFrom(const driver::CliOptions& opts) {
+  support::BudgetLimits limits;
+  limits.proverSteps = opts.budgetSteps;
+  limits.deadlineMs = opts.budgetMs;
+  return limits;
+}
+
+int runSingle(const driver::CliOptions& opts) {
+  const ir::Program prog = codes::makeTFFT2();
+  driver::PipelineConfig config;
+  config.params = codes::bindParams(prog, {{"P", opts.P}, {"Q", opts.Q}});
+  config.processors = opts.H;
+  config.traceSimulate = opts.simulate;
+  config.jobs = opts.jobs;
+  config.budget = budgetFrom(opts);
+
+  std::optional<support::ThreadPool> pool;
+  if (opts.jobs > 1) pool.emplace(opts.jobs);
+  const auto result =
+      driver::analyzeAndSimulateChecked(prog, config, pool ? &*pool : nullptr);
+  if (!result.has_value()) {
+    std::cerr << "error: analysis failed: " << result.status().str() << "\n";
+    return kExitAnalysisFailed;
+  }
+  std::cout << result->report(prog);
+
+  std::cout << "\n=== put schedules (SHMEM-style) ===\n";
+  for (const auto& s : result->schedules) std::cout << s.str();
+  std::cout << "\n=== Graphviz (LCG) ===\n" << result->lcg.dot();
+
+  if (result->localityCheck && !result->localityCheck->ok()) return kExitValidationFailed;
+  if (result->degraded()) return kExitDegraded;
+  return 0;
+}
+
+int runSuite(const driver::CliOptions& opts) {
+  const auto& suite = codes::benchmarkSuite();
+
+  // Build phase. A code whose construction fails (e.g. an injected
+  // frontend.parse fault) is reported and skipped; the rest still run.
+  std::vector<ir::Program> programs;
+  programs.reserve(suite.size());  // stable addresses for BatchItem
+  std::vector<int> itemIndex(suite.size(), -1);
+  std::vector<Status> buildErrors(suite.size());
+  std::vector<driver::BatchItem> batch;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    clearPendingErrorContext();
+    try {
+      ErrorContext code("code", suite[i].name);
+      programs.push_back(suite[i].build());
+    } catch (...) {
+      buildErrors[i] = statusFromCurrentException();
+      continue;
+    }
+    driver::BatchItem item;
+    item.program = &programs.back();
+    item.label = suite[i].name;
+    item.config.params = codes::bindParams(
+        programs.back(), opts.simulate ? suite[i].simParams : suite[i].smallParams);
+    item.config.processors = 4;
+    item.config.simulatePlan = false;
+    item.config.simulateBaseline = false;
+    item.config.traceSimulate = opts.simulate;
+    item.config.jobs = opts.jobs;
+    item.config.budget = budgetFrom(opts);
+    itemIndex[i] = static_cast<int>(batch.size());
+    batch.push_back(std::move(item));
+  }
+
+  const auto results = driver::analyzeBatch(batch, opts.jobs);
+
+  bool anyFailed = false;
+  bool anyDegraded = false;
+  bool anyDisagreement = false;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const std::string& name = suite[i].name;
+    if (itemIndex[i] < 0) {
+      std::cout << name << ": FAILED — " << buildErrors[i].str() << "\n";
+      anyFailed = true;
+      continue;
+    }
+    const auto& r = results[static_cast<std::size_t>(itemIndex[i])];
+    if (!r.has_value()) {
+      std::cout << name << ": FAILED — " << r.status().str() << "\n";
+      anyFailed = true;
+      continue;
+    }
+    // Serialize every successful item: the golden form is the batch artifact,
+    // and it exercises the serializer under fault injection too.
+    std::string golden;
+    try {
+      golden = driver::serializeGolden(*r, *batch[static_cast<std::size_t>(itemIndex[i])].program);
+    } catch (...) {
+      std::cout << name << ": FAILED — " << statusFromCurrentException().str()
+                << " (golden serialization)\n";
+      anyFailed = true;
+      continue;
+    }
+    std::string verdict = "ok";
+    if (r->localityCheck && !r->localityCheck->ok()) {
+      verdict = "VALIDATION FAILED";
+      anyDisagreement = true;
+    } else if (r->degraded()) {
+      verdict = "degraded";
+      anyDegraded = true;
+    }
+    std::cout << name << ": " << verdict << " — C edges=" << r->lcg.communicationEdges()
+              << " redistributions=" << r->schedules.size() << " golden=" << golden.size()
+              << "B";
+    if (r->localityCheck) {
+      std::cout << " validated=" << (r->localityCheck->checked - r->localityCheck->disagreements)
+                << "/" << r->localityCheck->checked;
+    }
+    std::cout << "\n";
+    for (const auto& d : r->degradation) std::cout << "    degrade: " << d.str() << "\n";
+  }
+
+  if (anyDisagreement) return kExitValidationFailed;
+  if (anyFailed) return kExitAnalysisFailed;
+  if (anyDegraded) return kExitDegraded;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace ad;
-  bool simulate = false;
-  std::string traceOut;
-  std::string metricsOut;
-  std::size_t jobs = 1;
-  std::int64_t positional[3] = {64, 64, 8};
-  int npos = 0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--simulate") {
-      simulate = true;
-    } else if (arg == "--jobs") {
-      if (i + 1 >= argc) {
-        std::cerr << "error: --jobs needs a thread count\n";
-        return usage(argv[0]);
-      }
-      char* end = nullptr;
-      errno = 0;
-      const long long v = std::strtoll(argv[++i], &end, 10);
-      if (errno != 0 || end == argv[i] || *end != '\0' || v < 0) {
-        std::cerr << "error: bad --jobs value '" << argv[i] << "'\n";
-        return usage(argv[0]);
-      }
-      jobs = v == 0 ? support::ThreadPool::hardwareConcurrency() : static_cast<std::size_t>(v);
-    } else if (arg.rfind("--trace-out=", 0) == 0) {
-      traceOut = arg.substr(std::strlen("--trace-out="));
-    } else if (arg.rfind("--metrics-out=", 0) == 0) {
-      metricsOut = arg.substr(std::strlen("--metrics-out="));
-    } else if (arg.rfind("--", 0) == 0) {
-      std::cerr << "error: unrecognized flag '" << arg << "'\n";
-      return usage(argv[0]);
-    } else {
-      // Positional P/Q/H: must be a complete integer, not atoll's best effort.
-      char* end = nullptr;
-      errno = 0;
-      const long long v = std::strtoll(argv[i], &end, 10);
-      if (errno != 0 || end == argv[i] || *end != '\0' || npos >= 3) {
-        std::cerr << "error: unexpected argument '" << arg << "'\n";
-        return usage(argv[0]);
-      }
-      positional[npos++] = v;
+  const auto parsed = driver::parseCli(argc, argv);
+  if (!parsed.has_value()) {
+    std::cerr << "error: " << parsed.status().str() << "\n" << driver::cliUsage(argv[0]);
+    return kExitUsage;
+  }
+  const driver::CliOptions opts = *parsed;
+
+  if (const Status st = support::FaultInjector::global().configureFromEnv(); !st.isOk()) {
+    std::cerr << "error: AD_FAULT_SPEC: " << st.str() << "\n" << driver::cliUsage(argv[0]);
+    return kExitUsage;
+  }
+  if (!opts.faultSpec.empty()) {
+    if (const Status st = support::FaultInjector::global().configure(opts.faultSpec);
+        !st.isOk()) {
+      std::cerr << "error: " << st.str() << "\n" << driver::cliUsage(argv[0]);
+      return kExitUsage;
     }
   }
-  const std::int64_t P = positional[0];
-  const std::int64_t Q = positional[1];
-  const std::int64_t H = positional[2];
 
-  if (!traceOut.empty()) obs::tracer().enable();
+  if (!opts.traceOut.empty()) obs::tracer().enable();
 
-  const ir::Program prog = codes::makeTFFT2();
-  driver::PipelineConfig config;
-  config.params = codes::bindParams(prog, {{"P", P}, {"Q", Q}});
-  config.processors = H;
-  config.traceSimulate = simulate;
-  config.jobs = jobs;
+  const int rc = opts.suite ? runSuite(opts) : runSingle(opts);
 
-  std::optional<support::ThreadPool> pool;
-  if (jobs > 1) pool.emplace(jobs);
-  const auto result = driver::analyzeAndSimulate(prog, config, pool ? &*pool : nullptr);
-  std::cout << result.report(prog);
-
-  if (!traceOut.empty() && !writeFileOrComplain(traceOut, obs::tracer().toJson())) return 3;
-  if (!metricsOut.empty() && !writeFileOrComplain(metricsOut, obs::metrics().toJson())) return 3;
-
-  if (result.localityCheck && !result.localityCheck->ok()) return 1;
-
-  std::cout << "\n=== put schedules (SHMEM-style) ===\n";
-  for (const auto& s : result.schedules) {
-    std::cout << s.str();
+  if (!opts.traceOut.empty() && !writeFileOrComplain(opts.traceOut, obs::tracer().toJson())) {
+    return kExitWriteFailed;
   }
-
-  std::cout << "\n=== Graphviz (LCG) ===\n" << result.lcg.dot();
-  return 0;
+  if (!opts.metricsOut.empty() &&
+      !writeFileOrComplain(opts.metricsOut, obs::metrics().toJson())) {
+    return kExitWriteFailed;
+  }
+  return rc;
 }

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "support/budget.hpp"
 #include "support/diagnostics.hpp"
 #include "support/string_utils.hpp"
 
@@ -19,6 +20,11 @@ Expr signedStride(const Expr& phi, sym::SymbolId id) {
 }  // namespace
 
 ARD buildARD(const ir::Program& program, const ir::Phase& phase, const ir::ArrayRef& ref) {
+  // Descriptor construction is linear in the program and has no conservative
+  // fallback (an ARD without a stride sign is unusable), so it runs outside
+  // the prover budget: exhaustion must land in the consumers that can degrade
+  // soundly (edge labels, privatization, halos, the ILP search), never here.
+  const support::BudgetScope exemptFromBudget(nullptr);
   const sym::SymbolTable& table = program.symbols();
   const sym::Assumptions assumptions = phase.assumptions(table);
   const sym::RangeAnalyzer ra(assumptions);

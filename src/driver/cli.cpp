@@ -1,0 +1,124 @@
+#include "driver/cli.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace ad::driver {
+
+namespace {
+
+/// Strict integer parse: the whole token must be one base-10 integer.
+bool parseInt(std::string_view s, std::int64_t& out) {
+  if (s.empty()) return false;
+  const std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end == buf.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+Status invalid(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+
+}  // namespace
+
+std::string cliUsage(std::string_view argv0) {
+  std::string out;
+  out += "usage: ";
+  out += argv0;
+  out +=
+      " [P] [Q] [H] [--simulate] [--suite] [--jobs N]\n"
+      "       [--fault SPEC] [--budget-steps N] [--budget-ms N]\n"
+      "       [--trace-out=FILE] [--metrics-out=FILE]\n"
+      "\n"
+      "  P Q H           TFFT2 problem sizes and processor count (default 64 64 8);\n"
+      "                  incompatible with --suite, which fixes its own sizes\n"
+      "  --simulate      replay the plan on the parallel trace simulator and\n"
+      "                  cross-check the Theorem-1/2 edge labels\n"
+      "  --suite         run all six benchmark codes as one batch\n"
+      "  --jobs N        worker threads, N >= 1\n"
+      "  --fault SPEC    deterministic fault injection: tag@N, tag@N+ or\n"
+      "                  tag%P:SEED, comma-separated (see docs/ROBUSTNESS.md)\n"
+      "  --budget-steps N  prover step budget (0 = unlimited)\n"
+      "  --budget-ms N     analysis wall-clock deadline (0 = none)\n"
+      "\n"
+      "exit codes: 0 ok, 1 locality validation failed, 2 usage error,\n"
+      "            3 artifact write failed, 4 analysis failed, 5 degraded but sound\n";
+  return out;
+}
+
+Expected<CliOptions> parseCli(int argc, const char* const* argv) {
+  CliOptions opts;
+  std::int64_t positional[3] = {opts.P, opts.Q, opts.H};
+  int npos = 0;
+
+  const auto flagValue = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--simulate") {
+      opts.simulate = true;
+    } else if (arg == "--suite") {
+      opts.suite = true;
+    } else if (arg == "--jobs") {
+      const char* v = flagValue(i);
+      if (v == nullptr) return invalid("--jobs needs a thread count");
+      std::int64_t n = 0;
+      if (!parseInt(v, n) || n < 1) {
+        return invalid("bad --jobs value '" + std::string(v) + "': need an integer >= 1");
+      }
+      opts.jobs = static_cast<std::size_t>(n);
+    } else if (arg == "--fault") {
+      const char* v = flagValue(i);
+      if (v == nullptr) return invalid("--fault needs a spec (tag@N, tag@N+ or tag%P:SEED)");
+      opts.faultSpec = v;
+    } else if (arg == "--budget-steps") {
+      const char* v = flagValue(i);
+      if (v == nullptr) return invalid("--budget-steps needs a count");
+      if (!parseInt(v, opts.budgetSteps) || opts.budgetSteps < 0) {
+        return invalid("bad --budget-steps value '" + std::string(v) +
+                       "': need an integer >= 0");
+      }
+    } else if (arg == "--budget-ms") {
+      const char* v = flagValue(i);
+      if (v == nullptr) return invalid("--budget-ms needs a millisecond count");
+      if (!parseInt(v, opts.budgetMs) || opts.budgetMs < 0) {
+        return invalid("bad --budget-ms value '" + std::string(v) + "': need an integer >= 0");
+      }
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      opts.traceOut = arg.substr(sizeof("--trace-out=") - 1);
+      if (opts.traceOut.empty()) return invalid("--trace-out= needs a file name");
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      opts.metricsOut = arg.substr(sizeof("--metrics-out=") - 1);
+      if (opts.metricsOut.empty()) return invalid("--metrics-out= needs a file name");
+    } else if (arg.rfind("--", 0) == 0) {
+      return invalid("unrecognized flag '" + std::string(arg) + "'");
+    } else {
+      std::int64_t v = 0;
+      if (!parseInt(arg, v)) {
+        return invalid("unexpected argument '" + std::string(arg) + "'");
+      }
+      if (npos >= 3) return invalid("too many positional arguments (want P Q H)");
+      if (v < 1) {
+        return invalid("positional value '" + std::string(arg) + "' must be >= 1");
+      }
+      positional[npos++] = v;
+    }
+  }
+
+  if (opts.suite && npos > 0) {
+    return invalid("--suite fixes its own problem sizes; drop the positional P/Q/H");
+  }
+  opts.P = positional[0];
+  opts.Q = positional[1];
+  opts.H = positional[2];
+  return opts;
+}
+
+}  // namespace ad::driver

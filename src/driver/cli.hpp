@@ -1,0 +1,50 @@
+// Command-line parsing for the pipeline drivers (examples/tfft2_pipeline).
+//
+// Parsing is a pipeline boundary like any other: malformed input produces a
+// structured Status (ErrorCode::kInvalidArgument) instead of a best-effort
+// guess, and the driver maps it to the documented usage exit code. Every
+// rejection rule here has a matching driver test (tests/cli_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/status.hpp"
+
+namespace ad::driver {
+
+struct CliOptions {
+  // Positional P/Q/H (TFFT2 problem sizes and processor count).
+  std::int64_t P = 64;
+  std::int64_t Q = 64;
+  std::int64_t H = 8;
+
+  bool simulate = false;  ///< --simulate: trace-replay + Theorem-1/2 check
+  bool suite = false;     ///< --suite: run the whole six-code benchmark suite
+
+  std::size_t jobs = 1;   ///< --jobs N (N >= 1)
+
+  std::string traceOut;    ///< --trace-out=FILE
+  std::string metricsOut;  ///< --metrics-out=FILE
+
+  std::string faultSpec;       ///< --fault SPEC (see support/fault.hpp grammar)
+  std::int64_t budgetSteps = 0;  ///< --budget-steps N (0 = unlimited)
+  std::int64_t budgetMs = 0;     ///< --budget-ms N (0 = no deadline)
+};
+
+/// The usage message (printed on kInvalidArgument by the driver).
+[[nodiscard]] std::string cliUsage(std::string_view argv0);
+
+/// Parses argv. Rejections (all kInvalidArgument):
+///  - unknown flags, and flags missing their value;
+///  - --jobs 0, negative, or garbage (a complete integer is required);
+///  - non-integer / out-of-range positionals, or more than three;
+///  - positional sizes < 1;
+///  - --budget-steps / --budget-ms negative or garbage;
+///  - --suite combined with positional P/Q/H (the suite fixes its own sizes).
+/// The --fault spec is validated later by FaultInjector::configure (the
+/// grammar lives there); parseCli only carries the string.
+[[nodiscard]] Expected<CliOptions> parseCli(int argc, const char* const* argv);
+
+}  // namespace ad::driver

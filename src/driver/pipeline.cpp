@@ -7,6 +7,8 @@
 #include "obs/obs.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
+#include "support/fault.hpp"
+#include "support/status.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ad::driver {
@@ -155,7 +157,19 @@ dsm::ExecutionPlan derivePlan(const ir::Program& program, const lcg::LCG& lcg,
             std::any_of(g.edges.begin(), g.edges.end(), [n](const auto& e) {
               return e.to == n && e.label == loc::EdgeLabel::kLocal;
             });
-        if (halo > 0 && !lPromise) {
+        // Degraded mode pins the conservative side of the cost call: keep the
+        // halo. Refreshed replicas are always fresh (Theorem 1c); dropping
+        // them is purely a cost optimization we no longer trust.
+        const bool haloForced =
+            halo > 0 && !lPromise &&
+            (AD_FAULT_POINT("plan.halo") || support::budgetCompromised());
+        if (haloForced) {
+          support::recordDegradation(
+              "plan.halo", "array=" + g.array + " phase=F" + std::to_string(node.phase + 1),
+              "halo kept (mandatory)",
+              support::budgetCompromised() ? support::currentDegradationCause() : "fault");
+        }
+        if (halo > 0 && !lPromise && !haloForced) {
           const auto& dist = plan.data.at(g.array)[node.phase];
           if (dist.hasOwner()) {
             const std::int64_t size = evalInt(program.array(g.array).size, params, "size");
@@ -189,22 +203,41 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   // metrics schema is stable even for inputs that never trigger them.
   obs::metrics().counter("ad.desc.homogenizations");
   obs::metrics().counter("ad.desc.offset_adjustments");
+  obs::metrics().counter("ad.degrade.events");
+  obs::metrics().counter("ad.budget.exhaustions");
+  obs::metrics().counter("ad.fault.injected");
+
+  // The run's budget (when one is configured) and degradation ledger. The
+  // scopes are thread-local here; ThreadPool::submit forwards them to every
+  // per-array subtask this run fans out.
+  std::optional<support::Budget> budget;
+  std::optional<support::BudgetScope> budgetScope;
+  if (!config.budget.unlimited() || config.cancel != nullptr) {
+    budget.emplace(config.budget, config.cancel);
+    budgetScope.emplace(&*budget);
+  }
+  support::DegradationReport degradationLedger;
+  support::DegradationScope degradationScope(&degradationLedger);
 
   // Each stage runs under its own span so --trace-out shows exactly where
-  // analysis time goes (descriptor/LCG work vs. ILP vs. simulation).
+  // analysis time goes (descriptor/LCG work vs. ILP vs. simulation), and
+  // under an ErrorContext frame so escaping failures name their stage.
   std::optional<lcg::LCG> lcgGraph;
   {
     obs::Span s("pipeline.lcg");
+    ErrorContext stage("stage", "lcg");
     lcgGraph.emplace(lcg::buildLCG(program, config.params, config.processors, pool));
   }
   std::optional<ilp::Model> model;
   {
     obs::Span s("pipeline.ilp_build");
+    ErrorContext stage("stage", "ilp_build");
     model.emplace(ilp::buildModel(*lcgGraph, config.params, config.processors, config.costs));
   }
   ilp::Solution solution;
   {
     obs::Span s("pipeline.ilp_solve");
+    ErrorContext stage("stage", "ilp_solve");
     solution = model->solve();
   }
   dsm::MachineParams machineForPlan = config.machine;
@@ -212,6 +245,7 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   dsm::ExecutionPlan plan;
   {
     obs::Span s("pipeline.plan");
+    ErrorContext stage("stage", "plan");
     plan = derivePlan(program, *lcgGraph, *model, solution, config.params,
                       config.processors, machineForPlan);
   }
@@ -220,6 +254,7 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   std::vector<comm::CommSchedule> schedules;
   {
     obs::Span s("pipeline.comm");
+    ErrorContext stage("stage", "comm");
     for (const auto& [array, dists] : plan.data) {
       const std::int64_t size = evalInt(program.array(array).size, config.params, "array size");
       for (std::size_t k = 1; k < dists.size(); ++k) {
@@ -240,6 +275,7 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   dsm::SimulationResult planned;
   if (config.simulatePlan) {
     obs::Span s("pipeline.dsm_model");
+    ErrorContext stage("stage", "dsm_model");
     planned = dsm::simulate(program, config.params, machine, plan);
   }
   PipelineResult result{std::move(*lcgGraph),
@@ -252,6 +288,7 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
                         config.processors};
   if (config.simulateBaseline) {
     obs::Span s("pipeline.dsm_baseline");
+    ErrorContext stage("stage", "dsm_baseline");
     result.naive = dsm::simulate(program, config.params, machine,
                                  dsm::ExecutionPlan::naiveBlock(program, config.params,
                                                                 config.processors));
@@ -259,38 +296,78 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   if (config.traceSimulate) {
     {
       obs::Span s("pipeline.trace_sim");
+      ErrorContext stage("stage", "trace_sim");
       sim::SimOptions so;
       so.processors = config.processors;
       result.trace = sim::simulateTrace(program, config.params, result.plan, so);
     }
     obs::Span s("pipeline.validate");
+    ErrorContext stage("stage", "validate");
     result.localityCheck = dsm::validateLocality(result.lcg, result.plan,
                                                  result.trace->observed, config.params,
                                                  config.processors);
   }
+  result.degradation = degradationLedger.snapshot();
   return result;
 }
 
-std::vector<std::optional<PipelineResult>> analyzeBatch(const std::vector<BatchItem>& batch,
-                                                        std::size_t jobs) {
+Expected<PipelineResult> analyzeAndSimulateChecked(const ir::Program& program,
+                                                   const PipelineConfig& config,
+                                                   support::ThreadPool* pool) {
+  // Frames parked by an unrelated, internally-recovered exception must not
+  // leak into this boundary's context chain.
+  clearPendingErrorContext();
+  try {
+    return analyzeAndSimulate(program, config, pool);
+  } catch (...) {
+    return statusFromCurrentException();
+  }
+}
+
+std::vector<Expected<PipelineResult>> analyzeBatch(const std::vector<BatchItem>& batch,
+                                                   std::size_t jobs) {
   obs::Span span("pipeline.analyze_batch");
   obs::metrics().counter("ad.driver.batch_items").add(static_cast<std::int64_t>(batch.size()));
   obs::Counter& errors = obs::metrics().counter("ad.driver.batch_errors");
 
-  std::vector<std::optional<PipelineResult>> results(batch.size());
+  std::vector<Expected<PipelineResult>> results(batch.size());
+  // `ran[i]` flips once item i's own guard is in charge of results[i]. Not
+  // vector<bool>: the slots are written concurrently and need distinct
+  // memory locations.
+  std::vector<char> ran(batch.size(), 0);
   support::ThreadPool pool(jobs == 0 ? 1 : jobs);
   support::TaskGroup group(pool);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    group.run([&batch, &results, &errors, &pool, i] {
+    group.run([&batch, &results, &errors, &ran, &pool, i] {
+      ran[i] = 1;
       const BatchItem& item = batch[i];
+      const std::string label =
+          item.label.empty() ? "item" + std::to_string(i) : item.label;
+      clearPendingErrorContext();
       try {
-        results[i].emplace(analyzeAndSimulate(*item.program, item.config, &pool));
-      } catch (const std::exception&) {
-        errors.add(1);  // result stays nullopt; the caller decides severity
+        ErrorContext code("code", label);
+        results[i] = analyzeAndSimulate(*item.program, item.config, &pool);
+      } catch (...) {
+        // One poisoned item yields a structured per-item Status — it never
+        // abandons its siblings and never crosses the pool boundary.
+        errors.add(1);
+        results[i] = statusFromCurrentException();
       }
     });
   }
-  group.wait();
+  try {
+    group.wait();
+  } catch (...) {
+    // A failure in the pool machinery itself (e.g. the pool.task fault
+    // point) fires before an item's guard existed. wait() still drained the
+    // group, so finished siblings keep their results; items whose task was
+    // killed get the structured status instead of the "unset" sentinel.
+    const Status st = statusFromCurrentException();
+    errors.add(1);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!ran[i]) results[i] = st;
+    }
+  }
   return results;
 }
 
@@ -328,6 +405,10 @@ std::string PipelineResult::report(const ir::Program& program) const {
   if (trace) {
     os << "\n=== Parallel trace simulation (" << trace->processors << " threads) ===\n"
        << trace->str();
+  }
+  if (!degradation.empty()) {
+    os << "\n=== Degradation (conservative fallbacks) ===\n";
+    for (const auto& d : degradation) os << "  " << d.str() << "\n";
   }
   if (localityCheck) {
     os << "\n=== Theorem 1/2 validation ===\n"

@@ -22,6 +22,7 @@
 #include "ilp/model.hpp"
 #include "lcg/lcg.hpp"
 #include "sim/trace_sim.hpp"
+#include "support/budget.hpp"
 
 namespace ad::support {
 class ThreadPool;
@@ -52,6 +53,14 @@ struct PipelineConfig {
   /// analyzeAndSimulate call this many workers also pick up the per-array
   /// analysis tasks when a pool is supplied.
   std::size_t jobs = 1;
+
+  /// Analysis budget for this run (prover steps / recursion depth / wall
+  /// clock; zero fields are unlimited). Exhaustion never fails the pipeline:
+  /// provers answer Unknown and every consumer takes its conservative choice,
+  /// recorded in PipelineResult::degradation.
+  support::BudgetLimits budget;
+  /// Optional cooperative cancellation, polled together with the deadline.
+  support::CancelToken cancel;
 };
 
 /// Everything the pipeline produces. Valid only while the analyzed Program
@@ -69,6 +78,13 @@ struct PipelineResult {
   /// Present when PipelineConfig::traceSimulate was set.
   std::optional<sim::TraceResult> trace;                      ///< parallel replay
   std::optional<dsm::LocalityValidationReport> localityCheck; ///< vs Theorem 1/2
+
+  /// Conservative downgrades taken during this run (budget exhaustion or
+  /// injected faults). Empty on a clean run — the result is then exactly the
+  /// unbudgeted answer.
+  std::vector<support::DegradationEvent> degradation;
+
+  [[nodiscard]] bool degraded() const noexcept { return !degradation.empty(); }
 
   [[nodiscard]] double plannedEfficiency() const { return planned.efficiency(processors); }
   [[nodiscard]] double naiveEfficiency() const { return naive.efficiency(processors); }
@@ -94,19 +110,30 @@ struct PipelineResult {
                                                 const PipelineConfig& config,
                                                 support::ThreadPool* pool = nullptr);
 
+/// Boundary variant: never throws. Any escaping exception — contract
+/// violations included — is converted to a structured Status whose context
+/// chain names the pipeline stage (and, for per-array work, the array) that
+/// failed.
+[[nodiscard]] Expected<PipelineResult> analyzeAndSimulateChecked(
+    const ir::Program& program, const PipelineConfig& config,
+    support::ThreadPool* pool = nullptr);
+
 /// One entry of a batched-analysis request: a program plus its configuration.
 /// The program must outlive the returned results (the LCG references it).
 struct BatchItem {
   const ir::Program* program = nullptr;
   PipelineConfig config;
+  std::string label;  ///< "code=<label>" context frame on failures
 };
 
 /// Batched engine: analyzes every item on a work-stealing pool with `jobs`
 /// workers — one task per item, which itself fans out per-array subtasks onto
-/// the same pool. Items that throw produce nullopt (the first few errors are
-/// reported on the ad.driver.batch_errors counter); results are returned in
-/// input order and are byte-identical to serial runs at any `jobs`.
-[[nodiscard]] std::vector<std::optional<PipelineResult>> analyzeBatch(
+/// the same pool. An item that fails yields an Expected carrying the
+/// structured Status (code -> stage -> array context chain) instead of
+/// poisoning the batch; ad.driver.batch_errors counts them. Results are
+/// returned in input order and are byte-identical to serial runs at any
+/// `jobs`.
+[[nodiscard]] std::vector<Expected<PipelineResult>> analyzeBatch(
     const std::vector<BatchItem>& batch, std::size_t jobs);
 
 }  // namespace ad::driver

@@ -1,6 +1,11 @@
 #include "driver/serialize.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <new>
+#include <tuple>
+
+#include "support/fault.hpp"
 
 namespace ad::driver {
 
@@ -49,6 +54,7 @@ const char* triState(const std::optional<bool>& v) {
 }  // namespace
 
 std::string serializeGolden(const PipelineResult& result, const ir::Program& program) {
+  if (AD_FAULT_POINT("serialize.alloc")) throw std::bad_alloc();
   const sym::SymbolTable& table = program.symbols();
   std::string out;
   out += "{\n";
@@ -88,6 +94,8 @@ std::string serializeGolden(const PipelineResult& result, const ir::Program& pro
       out += loc::edgeLabelName(edge.label);
       out += "\", \"back\": ";
       out += edge.backEdge ? "true" : "false";
+      // Only present on degraded edges: clean runs stay byte-identical.
+      if (edge.degraded) out += ", \"degraded\": true";
       if (edge.condition) {
         out += ", \"condition\": ";
         appendEscaped(out, edge.condition->render(table, "p_k", "p_g"));
@@ -139,6 +147,29 @@ std::string serializeGolden(const PipelineResult& result, const ir::Program& pro
     out += ++arrayIdx < result.plan.data.size() ? ",\n" : "\n";
   }
   out += "    ]\n  },\n";
+
+  // ----- Degradation ledger (omitted entirely on clean runs) ---------------
+  if (!result.degradation.empty()) {
+    auto events = result.degradation;
+    std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.stage, a.subject, a.action, a.cause) <
+             std::tie(b.stage, b.subject, b.action, b.cause);
+    });
+    out += "  \"degradation\": [\n";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      out += "    {\"stage\": ";
+      appendEscaped(out, events[i].stage);
+      out += ", \"subject\": ";
+      appendEscaped(out, events[i].subject);
+      out += ", \"action\": ";
+      appendEscaped(out, events[i].action);
+      out += ", \"cause\": ";
+      appendEscaped(out, events[i].cause);
+      out += "}";
+      out += i + 1 < events.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+  }
 
   // ----- Communication schedule shape --------------------------------------
   out += "  \"redistributions\": " + std::to_string(result.schedules.size()) + "\n";

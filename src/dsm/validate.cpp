@@ -260,6 +260,13 @@ LocalityValidationReport validateLocality(const lcg::LCG& lcg, const ExecutionPl
         } else if (processors == 1) {
           ob.agrees = true;
           ob.detail = "C edge vacuous on one processor";
+        } else if (e.degraded) {
+          // The label was forced to C because the analysis ran out of budget
+          // (or a fault was injected), not because communication was proven.
+          // Zero observed communication means the conservative fallback cost
+          // nothing here — sound, merely pessimistic.
+          ob.agrees = true;
+          ob.detail = "degraded C edge (budget/fault fallback); zero communication is sound";
         } else {
           ob.agrees = false;
           ob.detail = "C edge, yet no communication was observed";
@@ -271,6 +278,19 @@ LocalityValidationReport validateLocality(const lcg::LCG& lcg, const ExecutionPl
     }
   }
   return report;
+}
+
+Expected<LocalityValidationReport> validateLocalityChecked(const lcg::LCG& lcg,
+                                                           const ExecutionPlan& plan,
+                                                           const ObservedTrace& trace,
+                                                           const ir::Bindings& params,
+                                                           std::int64_t processors) {
+  try {
+    ErrorContext stage("stage", "validate");
+    return validateLocality(lcg, plan, trace, params, processors);
+  } catch (...) {
+    return statusFromCurrentException();
+  }
 }
 
 }  // namespace ad::dsm

@@ -1,6 +1,7 @@
 #include "frontend/parser.hpp"
 
 #include "obs/obs.hpp"
+#include "support/fault.hpp"
 #include "symbolic/ranges.hpp"
 
 #include <cctype>
@@ -96,12 +97,17 @@ class Lexer {
         num.push_back(src_[pos_]);
         bump();
       }
-      if (isFloat) {
-        current_.kind = Tok::kFloat;
-        current_.real = std::stod(num);
-      } else {
-        current_.kind = Tok::kNumber;
-        current_.number = std::stoll(num);
+      try {
+        if (isFloat) {
+          current_.kind = Tok::kFloat;
+          current_.real = std::stod(num);
+        } else {
+          current_.kind = Tok::kNumber;
+          current_.number = std::stoll(num);
+        }
+      } catch (const std::exception&) {  // std::out_of_range / invalid "1.2.3"
+        throw ParseError("numeric literal '" + num + "' is out of range", current_.line,
+                         current_.column);
       }
       current_.text = std::move(num);
       return;
@@ -162,6 +168,11 @@ class Lexer {
 class Parser {
  public:
   explicit Parser(std::string_view src) : lex_(src) {}
+
+  /// Structural limits: generous for real codes, small enough that
+  /// adversarial nesting is rejected long before the stack is at risk.
+  static constexpr int kMaxLoopNest = 64;
+  static constexpr int kMaxExprDepth = 200;
 
   ir::Program parseProgram() {
     ir::Program prog;
@@ -240,6 +251,13 @@ class Parser {
 
   void parseBody(ir::Program& prog, ir::PhaseBuilder& builder,
                  std::map<std::string, sym::SymbolId>& scope, int depth) {
+    // Recursion is bounded so adversarial input exhausts the grammar, not the
+    // stack: anything deeper than real codes use is a structured rejection.
+    if (depth > kMaxLoopNest) {
+      const Token t = lex_.peek();
+      throw ParseError("loop nest deeper than " + std::to_string(kMaxLoopNest) + " levels",
+                       t.line, t.column);
+    }
     while (lex_.peek().kind == Tok::kIdent) {
       const std::string kw = lex_.peek().text;
       if (kw == "do" || kw == "doall") {
@@ -380,6 +398,19 @@ class Parser {
   }
 
   Expr parsePrimary(sym::SymbolTable& symbols, const std::map<std::string, sym::SymbolId>& scope) {
+    // Every expression-recursion cycle (parenthesis nesting, unary minus in
+    // primary position) passes through here; cap it like the loop nest.
+    if (exprDepth_ >= kMaxExprDepth) {
+      const Token deep = lex_.peek();
+      throw ParseError("expression nested deeper than " + std::to_string(kMaxExprDepth) +
+                           " levels",
+                       deep.line, deep.column);
+    }
+    ++exprDepth_;
+    struct DepthGuard {
+      int& depth;
+      ~DepthGuard() { --depth; }
+    } guard{exprDepth_};
     const Token t = lex_.next();
     switch (t.kind) {
       case Tok::kNumber:
@@ -425,6 +456,7 @@ class Parser {
 
   Lexer lex_;
   bool internParams_ = false;
+  int exprDepth_ = 0;
 };
 
 }  // namespace
@@ -432,6 +464,9 @@ class Parser {
 ir::Program parseProgram(std::string_view source) {
   obs::Span span("frontend.parse");
   obs::metrics().counter("ad.frontend.programs_parsed").add(1);
+  if (AD_FAULT_POINT("frontend.parse")) {
+    throw ParseError("injected fault (frontend.parse)", 0, 0);
+  }
   return Parser(source).parseProgram();
 }
 

@@ -4,8 +4,10 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "support/budget.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
+#include "support/fault.hpp"
 #include "support/rational.hpp"
 
 namespace ad::ilp {
@@ -215,6 +217,15 @@ Solution Model::solve() const {
   Solution sol;
   sol.values.assign(n, 0);
 
+  // An injected solver fault degrades exactly like genuine infeasibility: the
+  // planner falls back to the greedy BLOCK chunking, which is always valid.
+  if (AD_FAULT_POINT("ilp.solve")) {
+    support::recordDegradation("ilp.solve", "model", "infeasible -> greedy BLOCK fallback",
+                               "fault");
+    infeasible.add(1);
+    return Solution{};
+  }
+
   // Build adjacency of the equality graph.
   std::vector<std::vector<std::size_t>> adj(n);
   for (std::size_t e = 0; e < eqs_.size(); ++e) {
@@ -284,6 +295,15 @@ Solution Model::solve() const {
     std::int64_t bestT = 0;
     bool found = false;
     for (std::int64_t t = vars_[root].lo; t <= vars_[root].hi; ++t) {
+      // Each candidate chunking charges the budget; exhaustion abandons the
+      // exact search and reports infeasible, triggering the greedy fallback.
+      if (!support::budgetStep()) {
+        support::recordDegradation("ilp.solve", "var=" + vars_[root].name,
+                                   "search abandoned -> greedy BLOCK fallback",
+                                   support::currentDegradationCause());
+        infeasible.add(1);
+        return Solution{};
+      }
       bool ok = true;
       std::vector<std::int64_t> vals(members.size());
       for (std::size_t mi = 0; mi < members.size() && ok; ++mi) {

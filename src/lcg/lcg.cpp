@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "support/budget.hpp"
 #include "support/diagnostics.hpp"
 #include "support/string_utils.hpp"
 #include "support/thread_pool.hpp"
@@ -107,8 +108,16 @@ LCG buildLCG(const ir::Program& program, const std::map<sym::SymbolId, std::int6
   return buildLCG(program, params, processors, nullptr);
 }
 
-LCG buildLCG(const ir::Program& program, const std::map<sym::SymbolId, std::int64_t>& params,
-             std::int64_t processors, support::ThreadPool* pool) {
+namespace {
+
+/// Shared implementation. With `firstError == nullptr` (throwing mode) the
+/// first per-array exception is rethrown on the calling thread after every
+/// sibling task has finished. In checked mode each failing slot is converted
+/// to a Status *on the worker that hit it* — preserving that thread's unwound
+/// ErrorContext frames — and the first (declaration order) lands in
+/// `*firstError`; the returned LCG is then meaningless.
+LCG buildLCGImpl(const ir::Program& program, const std::map<sym::SymbolId, std::int64_t>& params,
+                 std::int64_t processors, support::ThreadPool* pool, Status* firstError) {
   obs::Span span("lcg.build");
   const auto& arrays = program.arrays();
   // One slot per declared array, filled independently (possibly in parallel);
@@ -148,20 +157,52 @@ LCG buildLCG(const ir::Program& program, const std::map<sym::SymbolId, std::int6
       // Unknown overlap is conservatively treated as overlapping.
       const bool overlapK = ni.overlap.value_or(true);
       e.label = loc::classifyEdge(ni.attr, nj.attr, overlapK, balanced);
+      // Once the budget is exhausted every subsequent Unknown is suspect: a C
+      // decided here might have been L with full analysis. Mark it so the
+      // trace validator accepts zero communication, and ledger the downgrade.
+      if (e.label == loc::EdgeLabel::kComm && support::budgetCompromised()) {
+        e.degraded = true;
+        support::recordDegradation(
+            "lcg.edge",
+            "array=" + g.array + " F" + std::to_string(g.nodes[from].phase + 1) + "->F" +
+                std::to_string(g.nodes[to].phase + 1),
+            "label=C (conservative)", support::currentDegradationCause());
+      }
       g.edges.push_back(std::move(e));
     };
     for (std::size_t n = 0; n + 1 < g.nodes.size(); ++n) addEdge(n, n + 1, false);
     if (program.cyclic() && g.nodes.size() > 1) addEdge(g.nodes.size() - 1, 0, true);
     slots[slot] = std::move(g);
   };
+  // Per-slot error capture: one failing array must not abandon its siblings,
+  // and no exception may cross a pool task boundary un-caught.
+  std::vector<std::exception_ptr> slotErrors(arrays.size());
+  std::vector<Status> slotStatus(arrays.size());
+  const auto guarded = [&](std::size_t slot) {
+    try {
+      ErrorContext arrayCtx("array", arrays[slot].name);
+      buildArrayGraph(slot);
+    } catch (...) {
+      slotErrors[slot] = std::current_exception();
+      slotStatus[slot] = statusFromCurrentException();
+    }
+  };
   if (pool != nullptr && arrays.size() > 1) {
     support::TaskGroup group(*pool);
     for (std::size_t a = 0; a < arrays.size(); ++a) {
-      group.run([&buildArrayGraph, a] { buildArrayGraph(a); });
+      group.run([&guarded, a] { guarded(a); });
     }
-    group.wait();
+    group.wait();  // rethrows only wrapper-level injected faults (pool.task)
   } else {
-    for (std::size_t a = 0; a < arrays.size(); ++a) buildArrayGraph(a);
+    for (std::size_t a = 0; a < arrays.size(); ++a) guarded(a);
+  }
+  for (std::size_t a = 0; a < arrays.size(); ++a) {
+    if (slotErrors[a] == nullptr) continue;
+    if (firstError != nullptr) {
+      *firstError = std::move(slotStatus[a]);
+      return LCG(&program, {});
+    }
+    std::rethrow_exception(slotErrors[a]);
   }
   std::vector<ArrayGraph> graphs;
   for (auto& g : slots) {
@@ -184,6 +225,26 @@ LCG buildLCG(const ir::Program& program, const std::map<sym::SymbolId, std::int6
   obs::metrics().counter("ad.lcg.edges_comm").add(comm);
   obs::metrics().counter("ad.lcg.edges_uncoupled").add(uncoupled);
   return LCG(&program, std::move(graphs));
+}
+
+}  // namespace
+
+LCG buildLCG(const ir::Program& program, const std::map<sym::SymbolId, std::int64_t>& params,
+             std::int64_t processors, support::ThreadPool* pool) {
+  return buildLCGImpl(program, params, processors, pool, nullptr);
+}
+
+Expected<LCG> buildLCGChecked(const ir::Program& program,
+                              const std::map<sym::SymbolId, std::int64_t>& params,
+                              std::int64_t processors, support::ThreadPool* pool) {
+  try {
+    Status err;
+    LCG lcg = buildLCGImpl(program, params, processors, pool, &err);
+    if (!err.isOk()) return err;
+    return lcg;
+  } catch (...) {
+    return statusFromCurrentException();
+  }
 }
 
 }  // namespace ad::lcg

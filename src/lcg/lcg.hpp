@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "locality/analysis.hpp"
+#include "support/status.hpp"
 
 namespace ad::support {
 class ThreadPool;
@@ -36,6 +37,11 @@ struct Edge {
   loc::EdgeLabel label = loc::EdgeLabel::kComm;
   std::optional<loc::BalancedCondition> condition;  ///< Eq. 1 instance, if formable
   bool backEdge = false;  ///< the cyclic-program wraparound edge
+  /// Label decided while the analysis budget was exhausted (or a fault was
+  /// injected): C here means "could not prove L within budget", not "proved
+  /// communication". The trace validator accepts zero observed communication
+  /// on such edges.
+  bool degraded = false;
 };
 
 struct ArrayGraph {
@@ -86,5 +92,12 @@ class LCG {
 [[nodiscard]] LCG buildLCG(const ir::Program& program,
                            const std::map<sym::SymbolId, std::int64_t>& params,
                            std::int64_t processors, support::ThreadPool* pool);
+
+/// Non-throwing boundary variant: per-array failures are caught on the worker
+/// that hit them (so the context chain keeps the array frame) and surface as
+/// one structured Status; sibling arrays still run to completion first.
+[[nodiscard]] Expected<LCG> buildLCGChecked(
+    const ir::Program& program, const std::map<sym::SymbolId, std::int64_t>& params,
+    std::int64_t processors, support::ThreadPool* pool);
 
 }  // namespace ad::lcg

@@ -2,7 +2,9 @@
 
 #include <set>
 
+#include "support/budget.hpp"
 #include "support/diagnostics.hpp"
+#include "support/fault.hpp"
 
 namespace ad::loc {
 
@@ -18,6 +20,11 @@ bool noExposedReads(const ir::Program& program, const ir::Phase& phase,
   ir::forEachAccess(program, phase, params,
                     [&](const ir::ConcreteAccess& acc, const ir::Bindings&) {
     if (exposed || acc.ref->array != array) return;
+    // The replay is O(accesses); out of budget, assume the worst (exposed).
+    if (!support::budgetStep()) {
+      exposed = true;
+      return;
+    }
     if (acc.parallelIter != currentIter) {
       currentIter = acc.parallelIter;
       written.clear();
@@ -57,7 +64,28 @@ bool inferPrivatizable(const ir::Program& program, std::size_t phase, const std:
   const ir::Phase& ph = program.phase(phase);
   if (!ph.accesses(array)) return false;
   if (!ph.writes(array)) return false;  // nothing produced locally
-  return noExposedReads(program, ph, array, params) && deadAfter(program, phase, array);
+  const auto subject = [&] {
+    return "array=" + array + " phase=F" + std::to_string(phase + 1);
+  };
+  // No privatization without a completed proof: an exhausted budget (or an
+  // injected analysis fault) downgrades to shared placement, which is always
+  // correct — it merely forfeits the D-edge decoupling.
+  if (AD_FAULT_POINT("privatize.infer")) {
+    support::recordDegradation("privatization", subject(), "not privatized", "fault");
+    return false;
+  }
+  if (support::budgetCompromised()) {
+    support::recordDegradation("privatization", subject(), "not privatized",
+                               support::currentDegradationCause());
+    return false;
+  }
+  const bool proved =
+      noExposedReads(program, ph, array, params) && deadAfter(program, phase, array);
+  if (!proved && support::budgetCompromised()) {
+    support::recordDegradation("privatization", subject(), "not privatized",
+                               support::currentDegradationCause());
+  }
+  return proved;
 }
 
 std::vector<std::string> unjustifiedPrivatizations(const ir::Program& program, std::size_t phase,

@@ -17,6 +17,7 @@
 #include "sim/owner_map.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
+#include "support/fault.hpp"
 
 namespace ad::sim {
 
@@ -110,6 +111,9 @@ std::string TraceResult::str() const {
 TraceResult simulateTrace(const ir::Program& program, const ir::Bindings& params,
                           const dsm::ExecutionPlan& plan, const SimOptions& opts) {
   obs::Span traceSpan("sim.trace", "sim");
+  if (AD_FAULT_POINT("sim.trace")) {
+    throw AnalysisError("injected fault: trace simulation aborted (sim.trace)");
+  }
   AD_REQUIRE(plan.iteration.size() == program.phases().size(), "plan must cover every phase");
   AD_REQUIRE(opts.processors >= 1, "need at least one simulated processor");
   const std::int64_t H = opts.processors;

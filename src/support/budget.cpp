@@ -1,0 +1,118 @@
+#include "support/budget.hpp"
+
+#include "obs/obs.hpp"
+
+namespace ad::support {
+
+namespace {
+
+thread_local Budget* tlBudget = nullptr;
+thread_local DegradationReport* tlReport = nullptr;
+
+}  // namespace
+
+const char* budgetStopName(BudgetStop s) {
+  switch (s) {
+    case BudgetStop::kNone: return "none";
+    case BudgetStop::kSteps: return "budget.steps";
+    case BudgetStop::kDeadline: return "budget.deadline";
+    case BudgetStop::kCancelled: return "cancelled";
+    case BudgetStop::kFault: return "fault";
+  }
+  return "?";
+}
+
+Budget::Budget(const BudgetLimits& limits, CancelToken cancel)
+    : limits_(limits), cancel_(std::move(cancel)) {
+  if (limits_.deadlineMs > 0) {
+    deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(limits_.deadlineMs);
+  }
+}
+
+bool Budget::step() noexcept {
+  if (exhausted()) return false;
+  const std::int64_t n = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (limits_.proverSteps > 0 && n > limits_.proverSteps) {
+    exhaust(BudgetStop::kSteps);
+    return false;
+  }
+  if ((n & 63) == 0) {  // poll the slow checks every 64 steps
+    if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+      exhaust(BudgetStop::kCancelled);
+      return false;
+    }
+    if (limits_.deadlineMs > 0 && std::chrono::steady_clock::now() >= deadline_) {
+      exhaust(BudgetStop::kDeadline);
+      return false;
+    }
+  }
+  return true;
+}
+
+void Budget::exhaust(BudgetStop cause) noexcept {
+  BudgetStop expected = BudgetStop::kNone;
+  if (stop_.compare_exchange_strong(expected, cause, std::memory_order_relaxed)) {
+    obs::metrics().counter("ad.budget.exhaustions").add(1);
+  }
+}
+
+Budget* Budget::current() noexcept { return tlBudget; }
+
+BudgetScope::BudgetScope(Budget* budget) noexcept : previous_(tlBudget) { tlBudget = budget; }
+BudgetScope::~BudgetScope() { tlBudget = previous_; }
+
+// ---------------------------------------------------------------------------
+// Degradation ledger
+// ---------------------------------------------------------------------------
+
+std::string DegradationEvent::str() const {
+  return stage + " [" + subject + "]: " + action + " (" + cause + ")";
+}
+
+void DegradationReport::add(DegradationEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+bool DegradationReport::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.empty();
+}
+
+std::size_t DegradationReport::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<DegradationEvent> DegradationReport::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+DegradationReport* DegradationReport::current() noexcept { return tlReport; }
+
+DegradationScope::DegradationScope(DegradationReport* report) noexcept : previous_(tlReport) {
+  tlReport = report;
+}
+DegradationScope::~DegradationScope() { tlReport = previous_; }
+
+void recordDegradation(std::string stage, std::string subject, std::string action,
+                       std::string cause) {
+  obs::metrics().counter("ad.degrade.events").add(1);
+  std::string perStage = "ad.degrade.";
+  for (char c : stage) perStage += c == '.' ? '_' : c;
+  obs::metrics().counter(perStage).add(1);
+  if (DegradationReport* r = DegradationReport::current()) {
+    r->add(DegradationEvent{std::move(stage), std::move(subject), std::move(action),
+                            std::move(cause)});
+  }
+}
+
+std::string currentDegradationCause() {
+  if (Budget* b = Budget::current(); b != nullptr && b->exhausted()) {
+    return budgetStopName(b->stopCause());
+  }
+  return "unknown";
+}
+
+}  // namespace ad::support

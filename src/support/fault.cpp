@@ -1,0 +1,135 @@
+#include "support/fault.hpp"
+
+#include <cstdlib>
+
+#include "obs/obs.hpp"
+
+namespace ad::support {
+
+namespace {
+
+/// splitmix64: deterministic per-(seed, hit) firing decision.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool parseInt(std::string_view s, std::int64_t& out) {
+  if (s.empty()) return false;
+  std::int64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (INT64_MAX - (c - '0')) / 10) return false;
+    v = v * 10 + (c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+Status FaultInjector::configure(std::string_view spec) {
+  std::vector<Point> parsed;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    Point p;
+    if (const std::size_t at = entry.find('@'); at != std::string_view::npos) {
+      p.tag = std::string(entry.substr(0, at));
+      std::string_view num = entry.substr(at + 1);
+      if (!num.empty() && num.back() == '+') {
+        p.mode = Point::Mode::kFrom;
+        num.remove_suffix(1);
+      } else {
+        p.mode = Point::Mode::kNth;
+      }
+      if (!parseInt(num, p.n) || p.n < 1) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "bad fault entry '" + std::string(entry) + "': expected tag@N or tag@N+");
+      }
+    } else if (const std::size_t pct = entry.find('%'); pct != std::string_view::npos) {
+      p.tag = std::string(entry.substr(0, pct));
+      p.mode = Point::Mode::kProbability;
+      std::string_view rest = entry.substr(pct + 1);
+      const std::size_t colon = rest.find(':');
+      std::int64_t seed = 0;
+      if (colon == std::string_view::npos || !parseInt(rest.substr(0, colon), p.percent) ||
+          !parseInt(rest.substr(colon + 1), seed) || p.percent < 0 || p.percent > 100) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "bad fault entry '" + std::string(entry) + "': expected tag%P:SEED");
+      }
+      p.seed = static_cast<std::uint64_t>(seed);
+    } else {
+      return Status(ErrorCode::kInvalidArgument,
+                    "bad fault entry '" + std::string(entry) +
+                        "': expected tag@N, tag@N+ or tag%P:SEED");
+    }
+    if (p.tag.empty()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "bad fault entry '" + std::string(entry) + "': empty tag");
+    }
+    parsed.push_back(p);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  points_ = std::move(parsed);
+  fired_.store(0, std::memory_order_relaxed);
+  enabled_.store(!points_.empty(), std::memory_order_release);
+  return Status::ok();
+}
+
+Status FaultInjector::configureFromEnv() {
+  const char* spec = std::getenv("AD_FAULT_SPEC");
+  if (spec == nullptr) return Status::ok();
+  return configure(spec);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_release);
+  points_.clear();
+  fired_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::shouldFire(std::string_view tag) noexcept {
+  if (!enabled_.load(std::memory_order_acquire)) return false;
+  // points_ is only mutated by configure()/clear(), which callers run before
+  // (or between) pipeline executions; hit counters are atomic.
+  bool fire = false;
+  for (Point& p : points_) {
+    if (p.tag != tag) continue;
+    const std::int64_t hit = p.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    switch (p.mode) {
+      case Point::Mode::kNth:
+        fire = hit == p.n;
+        break;
+      case Point::Mode::kFrom:
+        fire = hit >= p.n;
+        break;
+      case Point::Mode::kProbability:
+        fire = static_cast<std::int64_t>(
+                   mix64(p.seed ^ static_cast<std::uint64_t>(hit)) % 100) < p.percent;
+        break;
+    }
+    if (fire) break;
+  }
+  if (fire) {
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics().counter("ad.fault.injected").add(1);
+  }
+  return fire;
+}
+
+}  // namespace ad::support

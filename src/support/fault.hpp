@@ -1,0 +1,88 @@
+// Deterministic, seeded fault injection.
+//
+// AD_FAULT_POINT(tag) marks a place where CI can make the pipeline fail on
+// purpose: the prover (timeout), the pool (task abandonment), the serializer
+// (allocation failure), the frontend (malformed input mid-pipeline), and the
+// trace simulator. The macro compiles into release builds; with no spec
+// configured it costs one relaxed atomic load.
+//
+// Spec grammar (AD_FAULT_SPEC environment variable or the --fault flag;
+// docs/ROBUSTNESS.md "Fault-spec grammar"):
+//
+//   spec    := entry (',' entry)*
+//   entry   := tag '@' N        -- fire exactly on the N-th hit (1-based)
+//            | tag '@' N '+'    -- fire on every hit >= N
+//            | tag '%' P ':' S  -- fire pseudo-randomly with probability P/100,
+//                                  decided by a hash of (seed S, hit index) —
+//                                  deterministic for a given spec
+//
+// Hit counts are process-global atomics: with a concurrent pool the N-th hit
+// lands on a scheduling-dependent task, but *whether* some hit fires — and
+// therefore the pipeline's exit code — is deterministic. Single-threaded runs
+// (--jobs 1) are fully reproducible.
+//
+// Each call site decides the *effect* of a firing (throw, exhaust the budget,
+// return a degraded answer); the injector only answers "fire now?".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace ad::support {
+
+class FaultInjector {
+ public:
+  /// The process-wide injector. Disabled (never fires) until configured.
+  [[nodiscard]] static FaultInjector& global();
+
+  /// Parses and installs a spec (replacing any previous one). An empty spec
+  /// disables injection. Returns kInvalidArgument on grammar errors.
+  [[nodiscard]] Status configure(std::string_view spec);
+
+  /// Installs the spec from the AD_FAULT_SPEC environment variable, if set.
+  /// Returns the configure() status (ok when the variable is absent).
+  [[nodiscard]] Status configureFromEnv();
+
+  /// Disables injection and zeroes all hit counters.
+  void clear();
+
+  /// Should the fault point `tag` fire on this hit? Counts the hit either
+  /// way when a spec mentions the tag.
+  [[nodiscard]] bool shouldFire(std::string_view tag) noexcept;
+
+  /// Total fired faults (also on the ad.fault.injected counter).
+  [[nodiscard]] std::int64_t fired() const noexcept {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Point {
+    std::string tag;
+    enum class Mode { kNth, kFrom, kProbability } mode = Mode::kNth;
+    std::int64_t n = 1;        ///< kNth / kFrom threshold
+    std::int64_t percent = 0;  ///< kProbability
+    std::uint64_t seed = 0;    ///< kProbability
+    std::atomic<std::int64_t> hits{0};
+
+    Point() = default;
+    Point(const Point& o)
+        : tag(o.tag), mode(o.mode), n(o.n), percent(o.percent), seed(o.seed),
+          hits(o.hits.load(std::memory_order_relaxed)) {}
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> fired_{0};
+  mutable std::mutex mu_;
+  std::vector<Point> points_;
+};
+
+}  // namespace ad::support
+
+/// True when the named fault point should fire on this execution.
+#define AD_FAULT_POINT(tag) (::ad::support::FaultInjector::global().shouldFire(tag))

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "support/budget.hpp"
+#include "support/fault.hpp"
 
 namespace ad::support {
 
@@ -45,6 +47,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // The submitter's budget and degradation ledger follow the task to
+  // whichever worker runs it: a per-code budget (and its cancellation token)
+  // bounds that code's per-array subtasks regardless of where they execute.
+  if (const RobustnessContext ctx = RobustnessContext::capture();
+      ctx.budget != nullptr || ctx.report != nullptr) {
+    task = [ctx, inner = std::move(task)] {
+      RobustnessContextScope scope(ctx);
+      inner();
+    };
+  }
   const std::size_t slot =
       (tlPool == this) ? tlWorker : count_;  // own deque or injection queue
   {
@@ -146,6 +158,9 @@ void TaskGroup::run(std::function<void()> fn) {
   pending_.fetch_add(1, std::memory_order_release);
   pool_->submit([this, fn = std::move(fn)] {
     try {
+      if (AD_FAULT_POINT("pool.task")) {
+        throw AnalysisError("injected fault: pool task abandoned (pool.task)");
+      }
       fn();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);

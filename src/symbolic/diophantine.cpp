@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "support/budget.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
 
@@ -27,7 +28,12 @@ std::vector<std::pair<std::int64_t, std::int64_t>> DiophantineFamily::enumerate(
     std::size_t maxCount) const {
   std::vector<std::pair<std::int64_t, std::int64_t>> out;
   if (!feasible()) return out;
-  for (std::int64_t t = tLo; t <= tHi && out.size() < maxCount; ++t) out.push_back(at(t));
+  for (std::int64_t t = tLo; t <= tHi && out.size() < maxCount; ++t) {
+    // Budget exhaustion truncates the enumeration: callers treat a shorter
+    // solution list as "fewer proven-coupled points", which is conservative.
+    if (!support::budgetStep()) break;
+    out.push_back(at(t));
+  }
   return out;
 }
 
@@ -86,8 +92,11 @@ DiophantineFamily solveLinear2(std::int64_t a, std::int64_t b, std::int64_t c, I
                                IntRange yr) {
   AD_REQUIRE(a != 0 && b != 0, "degenerate diophantine equation");
   // a*x - b*y = c.
-  const ExtendedGcd eg = extendedGcd(a, -b);
   DiophantineFamily fam;
+  // Exhaustion degrades to the empty family: "no proven alignment", which the
+  // locality layer maps to not-balanced (edge label C), never to a spurious L.
+  if (!support::budgetStep()) return fam;
+  const ExtendedGcd eg = extendedGcd(a, -b);
   if (c % eg.g != 0) return fam;  // infeasible: empty family (tHi < tLo)
   const std::int64_t scale = c / eg.g;
   std::int64_t x0 = checkedMul(eg.s, scale);

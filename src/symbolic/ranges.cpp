@@ -2,10 +2,43 @@
 
 #include <algorithm>
 
+#include "support/budget.hpp"
 #include "support/diagnostics.hpp"
+#include "support/fault.hpp"
 #include "symbolic/intern.hpp"
 
 namespace ad::sym {
+
+namespace {
+
+/// Set when the in-flight public query was interrupted — by budget
+/// exhaustion, deadline, cancellation, or the prover.timeout fault point.
+/// Interrupted answers are Unknown (sound) but must not be published to the
+/// shared proof memo, where they would make *later*, unbudgeted runs
+/// conservative too.
+thread_local bool tlProverInterrupted = false;
+
+/// Charges the current budget for one prover step. False means "stop and
+/// answer Unknown".
+bool proverAdmit() {
+  // The timeout fault models budget exhaustion, so it is only armed while a
+  // budget is installed. Budget-exempt regions (descriptor construction,
+  // which has no conservative fallback) and unbudgeted runs never time out —
+  // there, only the real budgetStep() path below can interrupt, and it is a
+  // no-op too.
+  if (support::Budget::current() != nullptr && AD_FAULT_POINT("prover.timeout")) {
+    tlProverInterrupted = true;
+    if (auto* b = support::Budget::current()) b->exhaust(support::BudgetStop::kFault);
+    return false;
+  }
+  if (!support::budgetStep()) {
+    tlProverInterrupted = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Assumptions
@@ -102,6 +135,23 @@ RangeAnalyzer::RangeAnalyzer(const Assumptions& assumptions) : asm_(&assumptions
   if (ProofMemo::enabled()) memo_ = ProofMemo::global().context(assumptions);
 }
 
+int RangeAnalyzer::maxDepth() {
+  auto* b = support::Budget::current();
+  return b != nullptr ? b->proverDepth(kMaxDepth) : kMaxDepth;
+}
+
+bool RangeAnalyzer::beginQuery() {
+  const bool wasInterrupted = tlProverInterrupted;
+  tlProverInterrupted = false;
+  return wasInterrupted;
+}
+
+bool RangeAnalyzer::queryInterrupted(bool previouslyInterrupted) {
+  const bool interrupted = tlProverInterrupted;
+  tlProverInterrupted = interrupted || previouslyInterrupted;
+  return interrupted;
+}
+
 void RangeAnalyzer::resetScratch() const {
   nnCache_.clear();
   posCache_.clear();
@@ -141,7 +191,7 @@ bool RangeAnalyzer::monomialPositive(const Monomial& m, int depth) const {
 
 bool RangeAnalyzer::proveNNImpl(const Expr& e, int depth) const {
   if (auto c = e.asConstant()) return c->sign() >= 0;
-  if (depth <= 0) return false;
+  if (depth <= 0 || !proverAdmit()) return false;
   if (auto it = nnCache_.find(e); it != nnCache_.end()) return it->second;
   nnCache_.emplace(e, false);  // cut off re-entrant cycles pessimistically
 
@@ -182,7 +232,7 @@ bool RangeAnalyzer::proveNNImpl(const Expr& e, int depth) const {
 
 bool RangeAnalyzer::provePosImpl(const Expr& e, int depth) const {
   if (auto c = e.asConstant()) return c->sign() > 0;
-  if (depth <= 0) return false;
+  if (depth <= 0 || !proverAdmit()) return false;
   if (auto it = posCache_.find(e); it != posCache_.end()) return it->second;
   posCache_.emplace(e, false);  // cut off re-entrant cycles pessimistically
 
@@ -221,30 +271,32 @@ bool RangeAnalyzer::provePosImpl(const Expr& e, int depth) const {
 }
 
 bool RangeAnalyzer::proveNonNegative(const Expr& e) const {
-  if (!memo_) return proveNNImpl(e, kMaxDepth);
+  if (!memo_) return proveNNImpl(e, maxDepth());
   if (auto hit = memo_->lookupBool(ProofMemoContext::Op::kNonNegative, e)) {
     ProofMemo::global().recordHit();
     return *hit;
   }
   ProofMemo::global().recordMiss();
   resetScratch();
-  const bool result = proveNNImpl(e, kMaxDepth);
-  memo_->storeBool(ProofMemoContext::Op::kNonNegative, e, result);
+  const bool outer = beginQuery();
+  const bool result = proveNNImpl(e, maxDepth());
+  if (!queryInterrupted(outer)) memo_->storeBool(ProofMemoContext::Op::kNonNegative, e, result);
   return result;
 }
 
 bool RangeAnalyzer::proveNonPositive(const Expr& e) const { return proveNonNegative(-e); }
 
 bool RangeAnalyzer::provePositive(const Expr& e) const {
-  if (!memo_) return provePosImpl(e, kMaxDepth);
+  if (!memo_) return provePosImpl(e, maxDepth());
   if (auto hit = memo_->lookupBool(ProofMemoContext::Op::kPositive, e)) {
     ProofMemo::global().recordHit();
     return *hit;
   }
   ProofMemo::global().recordMiss();
   resetScratch();
-  const bool result = provePosImpl(e, kMaxDepth);
-  memo_->storeBool(ProofMemoContext::Op::kPositive, e, result);
+  const bool outer = beginQuery();
+  const bool result = provePosImpl(e, maxDepth());
+  if (!queryInterrupted(outer)) memo_->storeBool(ProofMemoContext::Op::kPositive, e, result);
   return result;
 }
 
@@ -260,15 +312,16 @@ std::optional<int> RangeAnalyzer::signImpl(const Expr& e, int depth) const {
 }
 
 std::optional<int> RangeAnalyzer::sign(const Expr& e) const {
-  if (!memo_) return signImpl(e, kMaxDepth);
+  if (!memo_) return signImpl(e, maxDepth());
   if (auto hit = memo_->lookupSign(e)) {
     ProofMemo::global().recordHit();
     return *hit;
   }
   ProofMemo::global().recordMiss();
   resetScratch();
-  const std::optional<int> result = signImpl(e, kMaxDepth);
-  memo_->storeSign(e, result);
+  const bool outer = beginQuery();
+  const std::optional<int> result = signImpl(e, maxDepth());
+  if (!queryInterrupted(outer)) memo_->storeSign(e, result);
   return result;
 }
 
@@ -277,28 +330,30 @@ std::optional<int> RangeAnalyzer::sign(const Expr& e) const {
 // ---------------------------------------------------------------------------
 
 std::optional<Expr> RangeAnalyzer::upperBoundExpr(const Expr& e) const {
-  if (!memo_) return bound(e, Mode::kUpper, /*indicesOnly=*/true, kMaxDepth);
+  if (!memo_) return bound(e, Mode::kUpper, /*indicesOnly=*/true, maxDepth());
   if (auto hit = memo_->lookupExpr(ProofMemoContext::Op::kUpperBound, e)) {
     ProofMemo::global().recordHit();
     return *hit;
   }
   ProofMemo::global().recordMiss();
   resetScratch();
-  const std::optional<Expr> result = bound(e, Mode::kUpper, /*indicesOnly=*/true, kMaxDepth);
-  memo_->storeExpr(ProofMemoContext::Op::kUpperBound, e, result);
+  const bool outer = beginQuery();
+  const std::optional<Expr> result = bound(e, Mode::kUpper, /*indicesOnly=*/true, maxDepth());
+  if (!queryInterrupted(outer)) memo_->storeExpr(ProofMemoContext::Op::kUpperBound, e, result);
   return result;
 }
 
 std::optional<Expr> RangeAnalyzer::lowerBoundExpr(const Expr& e) const {
-  if (!memo_) return bound(e, Mode::kLower, /*indicesOnly=*/true, kMaxDepth);
+  if (!memo_) return bound(e, Mode::kLower, /*indicesOnly=*/true, maxDepth());
   if (auto hit = memo_->lookupExpr(ProofMemoContext::Op::kLowerBound, e)) {
     ProofMemo::global().recordHit();
     return *hit;
   }
   ProofMemo::global().recordMiss();
   resetScratch();
-  const std::optional<Expr> result = bound(e, Mode::kLower, /*indicesOnly=*/true, kMaxDepth);
-  memo_->storeExpr(ProofMemoContext::Op::kLowerBound, e, result);
+  const bool outer = beginQuery();
+  const std::optional<Expr> result = bound(e, Mode::kLower, /*indicesOnly=*/true, maxDepth());
+  if (!queryInterrupted(outer)) memo_->storeExpr(ProofMemoContext::Op::kLowerBound, e, result);
   return result;
 }
 
@@ -364,7 +419,7 @@ std::optional<Expr> RangeAnalyzer::boundEliminating(const Expr& e, SymbolId vict
 
 std::optional<Expr> RangeAnalyzer::bound(const Expr& e, Mode mode, bool indicesOnly,
                                          int depth) const {
-  if (depth <= 0) return std::nullopt;
+  if (depth <= 0 || !proverAdmit()) return std::nullopt;
   if (e.isConstant()) return e;
   const BoundKey key{e, mode == Mode::kUpper, indicesOnly};
   if (auto it = boundCache_.find(key); it != boundCache_.end()) return it->second;
@@ -423,8 +478,11 @@ bool RangeAnalyzer::proveIntegerValued(const Expr& e) const {
   ProofMemo::global().recordMiss();
   // No resetScratch here: the impl only issues public proveNonNegative
   // queries, each of which is itself a memo probe.
+  const bool outer = beginQuery();
   const bool result = integerValuedImpl(e);
-  memo_->storeBool(ProofMemoContext::Op::kIntegerValued, e, result);
+  if (!queryInterrupted(outer)) {
+    memo_->storeBool(ProofMemoContext::Op::kIntegerValued, e, result);
+  }
   return result;
 }
 

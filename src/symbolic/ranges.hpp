@@ -104,6 +104,17 @@ class RangeAnalyzer {
   enum class Mode { kLower, kUpper };
   static constexpr int kMaxDepth = 24;
 
+  /// Effective depth budget: the thread's ad::support::Budget cap when one is
+  /// installed, kMaxDepth otherwise.
+  [[nodiscard]] static int maxDepth();
+  /// Marks the start of a public query; returns (and clears) the thread's
+  /// "interrupted" flag so nested public queries compose.
+  static bool beginQuery();
+  /// True when the query since beginQuery() was interrupted (budget/fault);
+  /// re-raises `previouslyInterrupted` for the enclosing query. Interrupted
+  /// answers stay Unknown-conservative but are never published to the memo.
+  static bool queryInterrupted(bool previouslyInterrupted);
+
   [[nodiscard]] std::optional<Expr> bound(const Expr& e, Mode mode, bool indicesOnly,
                                           int depth) const;
   [[nodiscard]] std::optional<Expr> boundEliminating(const Expr& e, SymbolId victim, Mode mode,

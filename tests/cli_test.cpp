@@ -1,0 +1,127 @@
+// Driver CLI validation (driver/cli.hpp): one test per documented rejection
+// rule, plus the accepted forms. parseCli never guesses — malformed input is
+// a structured kInvalidArgument, which the driver maps to the usage exit code.
+#include "driver/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ad::driver {
+namespace {
+
+Expected<CliOptions> parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "tfft2_pipeline");
+  return parseCli(static_cast<int>(args.size()), args.data());
+}
+
+void expectRejected(std::vector<const char*> args, std::string_view needle) {
+  const auto r = parse(std::move(args));
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find(needle), std::string::npos)
+      << "message was: " << r.status().message();
+}
+
+TEST(Cli, DefaultsWithNoArguments) {
+  const auto r = parse({});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->P, 64);
+  EXPECT_EQ(r->Q, 64);
+  EXPECT_EQ(r->H, 8);
+  EXPECT_FALSE(r->simulate);
+  EXPECT_FALSE(r->suite);
+  EXPECT_EQ(r->jobs, 1u);
+  EXPECT_EQ(r->budgetSteps, 0);
+  EXPECT_EQ(r->budgetMs, 0);
+}
+
+TEST(Cli, AcceptsFullFlagSet) {
+  const auto r = parse({"16", "32", "4", "--simulate", "--jobs", "3", "--fault",
+                        "prover.timeout@1", "--budget-steps", "500", "--budget-ms", "2000",
+                        "--trace-out=t.json", "--metrics-out=m.json"});
+  ASSERT_TRUE(r.has_value()) << r.status().str();
+  EXPECT_EQ(r->P, 16);
+  EXPECT_EQ(r->Q, 32);
+  EXPECT_EQ(r->H, 4);
+  EXPECT_TRUE(r->simulate);
+  EXPECT_EQ(r->jobs, 3u);
+  EXPECT_EQ(r->faultSpec, "prover.timeout@1");
+  EXPECT_EQ(r->budgetSteps, 500);
+  EXPECT_EQ(r->budgetMs, 2000);
+  EXPECT_EQ(r->traceOut, "t.json");
+  EXPECT_EQ(r->metricsOut, "m.json");
+}
+
+TEST(Cli, AcceptsPartialPositionals) {
+  const auto r = parse({"128"});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->P, 128);
+  EXPECT_EQ(r->Q, 64);  // defaults keep their place
+  EXPECT_EQ(r->H, 8);
+}
+
+TEST(Cli, RejectsJobsZero) { expectRejected({"--jobs", "0"}, "--jobs"); }
+
+TEST(Cli, RejectsJobsNegative) { expectRejected({"--jobs", "-2"}, "--jobs"); }
+
+TEST(Cli, RejectsJobsGarbage) {
+  expectRejected({"--jobs", "many"}, "--jobs");
+  expectRejected({"--jobs", "2x"}, "--jobs");  // the whole token must parse
+}
+
+TEST(Cli, RejectsJobsMissingValue) { expectRejected({"--jobs"}, "--jobs"); }
+
+TEST(Cli, RejectsUnknownFlag) { expectRejected({"--frobnicate"}, "--frobnicate"); }
+
+TEST(Cli, RejectsNonIntegerPositional) { expectRejected({"eight"}, "eight"); }
+
+TEST(Cli, RejectsTooManyPositionals) { expectRejected({"1", "2", "3", "4"}, "too many"); }
+
+TEST(Cli, RejectsNonPositiveSizes) {
+  expectRejected({"0"}, ">= 1");
+  expectRejected({"8", "-8"}, ">= 1");
+}
+
+TEST(Cli, RejectsBadBudgets) {
+  expectRejected({"--budget-steps", "-1"}, "--budget-steps");
+  expectRejected({"--budget-steps", "lots"}, "--budget-steps");
+  expectRejected({"--budget-ms", "-5"}, "--budget-ms");
+  expectRejected({"--budget-ms"}, "--budget-ms");
+}
+
+TEST(Cli, RejectsEmptyArtifactPaths) {
+  expectRejected({"--trace-out="}, "--trace-out");
+  expectRejected({"--metrics-out="}, "--metrics-out");
+}
+
+TEST(Cli, RejectsSuiteWithPositionals) {
+  // --suite fixes its own problem sizes; mixing the two is ambiguous.
+  expectRejected({"--suite", "8", "8", "4"}, "--suite");
+  const auto ok = parse({"--suite", "--simulate"});
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->suite);
+}
+
+TEST(Cli, RejectsFaultMissingSpec) { expectRejected({"--fault"}, "--fault"); }
+
+TEST(Cli, FaultSpecIsCarriedVerbatim) {
+  // Grammar validation happens in FaultInjector::configure; parseCli only
+  // transports the string.
+  const auto r = parse({"--fault", "not-a-valid-spec"});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->faultSpec, "not-a-valid-spec");
+}
+
+TEST(Cli, UsageMentionsEveryFlagAndExitCode) {
+  const std::string usage = cliUsage("prog");
+  for (const char* needle :
+       {"--simulate", "--suite", "--jobs", "--fault", "--budget-steps", "--budget-ms",
+        "--trace-out=", "--metrics-out=", "exit codes"}) {
+    EXPECT_NE(usage.find(needle), std::string::npos) << "usage lacks " << needle;
+  }
+}
+
+}  // namespace
+}  // namespace ad::driver

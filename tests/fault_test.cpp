@@ -1,0 +1,119 @@
+// Deterministic fault injection (support/fault.hpp): spec grammar, firing
+// schedules (@N, @N+, %P:SEED), determinism, and counter reset.
+#include "support/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace ad::support {
+namespace {
+
+/// The injector is process-global; every test starts and ends disabled.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::global().clear(); }
+  void TearDown() override { FaultInjector::global().clear(); }
+};
+
+TEST_F(FaultTest, DisabledInjectorNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(AD_FAULT_POINT("prover.timeout"));
+  }
+}
+
+TEST_F(FaultTest, NthFiresExactlyOnce) {
+  ASSERT_TRUE(FaultInjector::global().configure("prover.timeout@3").isOk());
+  std::vector<int> fired;
+  for (int hit = 1; hit <= 6; ++hit) {
+    if (AD_FAULT_POINT("prover.timeout")) fired.push_back(hit);
+  }
+  EXPECT_EQ(fired, std::vector<int>{3});
+  EXPECT_EQ(FaultInjector::global().fired(), 1);
+}
+
+TEST_F(FaultTest, FromFiresOnEveryHitAtOrAboveN) {
+  ASSERT_TRUE(FaultInjector::global().configure("pool.task@2+").isOk());
+  std::vector<int> fired;
+  for (int hit = 1; hit <= 5; ++hit) {
+    if (AD_FAULT_POINT("pool.task")) fired.push_back(hit);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST_F(FaultTest, UnmentionedTagsAreUnaffected) {
+  ASSERT_TRUE(FaultInjector::global().configure("serialize.alloc@1").isOk());
+  EXPECT_FALSE(AD_FAULT_POINT("frontend.parse"));
+  EXPECT_TRUE(AD_FAULT_POINT("serialize.alloc"));
+}
+
+TEST_F(FaultTest, CommaSeparatedEntriesAreIndependent) {
+  ASSERT_TRUE(FaultInjector::global().configure("a@1,b@2").isOk());
+  EXPECT_TRUE(AD_FAULT_POINT("a"));
+  EXPECT_FALSE(AD_FAULT_POINT("b"));  // hit 1
+  EXPECT_TRUE(AD_FAULT_POINT("b"));   // hit 2
+  EXPECT_FALSE(AD_FAULT_POINT("a"));  // @1 already spent
+}
+
+TEST_F(FaultTest, ProbabilityEndpointsAndDeterminism) {
+  ASSERT_TRUE(FaultInjector::global().configure("never%0:7").isOk());
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(AD_FAULT_POINT("never"));
+
+  ASSERT_TRUE(FaultInjector::global().configure("always%100:7").isOk());
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(AD_FAULT_POINT("always"));
+
+  // Same seed, same hit index -> the same decision sequence every time.
+  const auto sample = [] {
+    std::vector<bool> decisions;
+    EXPECT_TRUE(FaultInjector::global().configure("coin%40:12345").isOk());
+    decisions.reserve(64);
+    for (int i = 0; i < 64; ++i) decisions.push_back(AD_FAULT_POINT("coin"));
+    return decisions;
+  };
+  const auto first = sample();
+  const auto second = sample();
+  EXPECT_EQ(first, second);
+  // P=40 should fire sometimes and not always.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(FaultTest, ClearResetsCountersAndDisables) {
+  ASSERT_TRUE(FaultInjector::global().configure("tag@2").isOk());
+  EXPECT_FALSE(AD_FAULT_POINT("tag"));
+  FaultInjector::global().clear();
+  EXPECT_FALSE(AD_FAULT_POINT("tag"));  // disabled, not "hit 2"
+  // Reconfiguring restarts the hit count from zero.
+  ASSERT_TRUE(FaultInjector::global().configure("tag@2").isOk());
+  EXPECT_FALSE(AD_FAULT_POINT("tag"));
+  EXPECT_TRUE(AD_FAULT_POINT("tag"));
+}
+
+TEST_F(FaultTest, EmptySpecDisables) {
+  ASSERT_TRUE(FaultInjector::global().configure("tag@1").isOk());
+  ASSERT_TRUE(FaultInjector::global().configure("").isOk());
+  EXPECT_FALSE(AD_FAULT_POINT("tag"));
+}
+
+TEST_F(FaultTest, GrammarRejections) {
+  const auto rejects = [](std::string_view spec) {
+    const Status st = FaultInjector::global().configure(spec);
+    EXPECT_FALSE(st.isOk()) << "accepted: " << spec;
+    EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument) << spec;
+  };
+  rejects("garbage");          // no @ or %
+  rejects("tag@");             // missing N
+  rejects("tag@0");            // hits are 1-based
+  rejects("tag@-1");           // negative
+  rejects("tag@1x");           // trailing junk
+  rejects("@3");               // empty tag
+  rejects("tag%50");           // missing :SEED
+  rejects("tag%101:1");        // probability > 100
+  rejects("tag%x:1");          // non-numeric probability
+  rejects("a@1,garbage");      // one bad entry poisons the spec
+}
+
+}  // namespace
+}  // namespace ad::support

@@ -1,0 +1,160 @@
+// Structured failure propagation (support/status.hpp): Status formatting and
+// the context chain, Expected<T> accessors, and ErrorContext frames collected
+// while an exception unwinds.
+#include "support/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace ad {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.isOk());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.str(), "ok");
+}
+
+TEST(Status, StrFormatsCodeMessageAndChain) {
+  Status s(ErrorCode::kAnalysis, "slope is not integral");
+  EXPECT_EQ(s.str(), "analysis error: slope is not integral");
+  s.withInnerContext("stage=lcg").withInnerContext("array=X").withContext("code=tfft2");
+  // Outermost frame first, ' > ' separated.
+  EXPECT_EQ(s.str(), "analysis error: slope is not integral [code=tfft2 > stage=lcg > array=X]");
+}
+
+TEST(Status, WithContextPrependsWithInnerContextAppends) {
+  Status s(ErrorCode::kInternal, "boom");
+  s.withInnerContext("b=2");
+  s.withContext("a=1");
+  s.withInnerContext("c=3");
+  ASSERT_EQ(s.context().size(), 3u);
+  EXPECT_EQ(s.context()[0], "a=1");
+  EXPECT_EQ(s.context()[1], "b=2");
+  EXPECT_EQ(s.context()[2], "c=3");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_STRNE(errorCodeName(static_cast<ErrorCode>(c)), "?");
+  }
+}
+
+TEST(Expected, DefaultIsUnsetError) {
+  Expected<int> e;
+  EXPECT_FALSE(e.has_value());
+  EXPECT_FALSE(e.ok());
+  EXPECT_FALSE(static_cast<bool>(e));
+  EXPECT_EQ(e.status().code(), ErrorCode::kInternal);
+  EXPECT_EQ(e.status().message(), "unset");
+}
+
+TEST(Expected, ValueAndStatusAccessors) {
+  Expected<std::string> v(std::string("hi"));
+  EXPECT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "hi");
+  EXPECT_EQ(v->size(), 2u);
+  EXPECT_TRUE(v.status().isOk());
+
+  Expected<std::string> err(Status(ErrorCode::kBudget, "out of steps"));
+  EXPECT_FALSE(err.has_value());
+  EXPECT_EQ(err.status().code(), ErrorCode::kBudget);
+  EXPECT_THROW((void)err.value(), ContractViolation);
+}
+
+TEST(Expected, ErrorMustCarryNonOkStatus) {
+  EXPECT_THROW(Expected<int>{Status::ok()}, ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// ErrorContext + statusFromCurrentException
+// ---------------------------------------------------------------------------
+
+TEST(ErrorContext, FramesFoldOutermostFirst) {
+  clearPendingErrorContext();
+  Status st;
+  try {
+    ErrorContext outer("code", "tfft2");
+    ErrorContext inner("stage", "lcg");
+    throw AnalysisError("bad edge");
+  } catch (...) {
+    st = statusFromCurrentException();
+  }
+  EXPECT_EQ(st.code(), ErrorCode::kAnalysis);
+  EXPECT_EQ(st.str(), "analysis error: bad edge [code=tfft2 > stage=lcg]");
+}
+
+TEST(ErrorContext, NormalExitRecordsNothing) {
+  clearPendingErrorContext();
+  { ErrorContext frame("stage", "quiet"); }
+  Status st;
+  try {
+    throw AnalysisError("later failure");
+  } catch (...) {
+    st = statusFromCurrentException();
+  }
+  EXPECT_TRUE(st.context().empty()) << st.str();
+}
+
+TEST(ErrorContext, ClearPendingDropsLeakedFrames) {
+  // A frame unwound by an internally-recovered exception must not leak into
+  // the next boundary's chain once the boundary clears pending state.
+  try {
+    ErrorContext frame("stage", "recovered");
+    throw AnalysisError("handled internally");
+  } catch (...) {
+    // Swallowed: the frame is now parked.
+  }
+  clearPendingErrorContext();
+  Status st;
+  try {
+    throw AnalysisError("unrelated");
+  } catch (...) {
+    st = statusFromCurrentException();
+  }
+  EXPECT_TRUE(st.context().empty()) << st.str();
+}
+
+TEST(ErrorContext, FramesSurviveOnlyForUnwoundScopes) {
+  clearPendingErrorContext();
+  Status st;
+  try {
+    ErrorContext live("stage", "validate");
+    { ErrorContext done("array", "finished-before-throw"); }
+    throw AnalysisError("mid-stage");
+  } catch (...) {
+    st = statusFromCurrentException();
+  }
+  ASSERT_EQ(st.context().size(), 1u);
+  EXPECT_EQ(st.context()[0], "stage=validate");
+}
+
+TEST(StatusFromCurrentException, ClassifiesTheTaxonomy) {
+  const auto classify = [](auto&& thrower) {
+    clearPendingErrorContext();
+    try {
+      thrower();
+    } catch (...) {
+      return statusFromCurrentException().code();
+    }
+    return ErrorCode::kOk;
+  };
+  EXPECT_EQ(classify([] { throw AnalysisError("x"); }), ErrorCode::kAnalysis);
+  EXPECT_EQ(classify([] { throw ProgramError("bad ir"); }), ErrorCode::kProgram);
+  // ParseError derives from ProgramError and is recognized by its
+  // conventional message prefix (no frontend dependency here).
+  EXPECT_EQ(classify([] { throw ProgramError("parse error at 1:2: nope"); }), ErrorCode::kParse);
+  EXPECT_EQ(classify([] { AD_REQUIRE(false, "broken invariant"); }), ErrorCode::kContract);
+  EXPECT_EQ(classify([] { throw std::bad_alloc(); }), ErrorCode::kAllocation);
+  EXPECT_EQ(classify([] { throw std::runtime_error("misc"); }), ErrorCode::kInternal);
+  EXPECT_EQ(classify([] { throw 42; }), ErrorCode::kInternal);
+}
+
+}  // namespace
+}  // namespace ad
