@@ -1,7 +1,8 @@
 // The paper's running example, end to end: the eight-phase TFFT2 section.
 //
-//   run: ./build/examples/tfft2_pipeline [P] [Q] [H] [--simulate] [--suite]
-//            [--jobs N] [--fault SPEC] [--budget-steps N] [--budget-ms N]
+//   run: ./build/examples/tfft2_pipeline [P] [Q] [H] [--simulate]
+//            [--validate=trace|symbolic|both] [--suite] [--jobs N]
+//            [--fault SPEC] [--budget-steps N] [--budget-ms N]
 //            [--trace-out=FILE] [--metrics-out=FILE]
 //
 // Prints the LCG of Figure 6, the Table-2 integer program, the chosen
@@ -12,6 +13,10 @@
 // With --simulate, additionally replays the plan on the parallel trace
 // simulator (H real threads, one per simulated processor) and cross-checks
 // the observed local/remote traffic against the Theorem-1/2 edge labels.
+// --validate picks the oracle explicitly: trace (the enumerating simulator),
+// symbolic (closed-form interval counts, O(descriptors)), or both
+// (differential mode: the two traces must agree exactly — see
+// docs/VALIDATION.md). A differential mismatch exits 1.
 //
 // With --suite, runs all six benchmark codes as one batch through the
 // non-throwing engine: each item reports ok / degraded / FAILED with its
@@ -67,12 +72,19 @@ support::BudgetLimits budgetFrom(const driver::CliOptions& opts) {
   return limits;
 }
 
+driver::ValidateMode validateModeFrom(const driver::CliOptions& opts) {
+  if (opts.validate == "trace") return driver::ValidateMode::kTrace;
+  if (opts.validate == "symbolic") return driver::ValidateMode::kSymbolic;
+  if (opts.validate == "both") return driver::ValidateMode::kBoth;
+  return opts.simulate ? driver::ValidateMode::kTrace : driver::ValidateMode::kNone;
+}
+
 int runSingle(const driver::CliOptions& opts) {
   const ir::Program prog = codes::makeTFFT2();
   driver::PipelineConfig config;
   config.params = codes::bindParams(prog, {{"P", opts.P}, {"Q", opts.Q}});
   config.processors = opts.H;
-  config.traceSimulate = opts.simulate;
+  config.validate = validateModeFrom(opts);
   config.jobs = opts.jobs;
   config.budget = budgetFrom(opts);
 
@@ -90,6 +102,11 @@ int runSingle(const driver::CliOptions& opts) {
   for (const auto& s : result->schedules) std::cout << s.str();
   std::cout << "\n=== Graphviz (LCG) ===\n" << result->lcg.dot();
 
+  if (!result->symbolicAgrees()) {
+    std::cerr << "error: differential validation mismatch: " << result->symbolicDifference
+              << "\n";
+    return kExitValidationFailed;
+  }
   if (result->localityCheck && !result->localityCheck->ok()) return kExitValidationFailed;
   if (result->degraded()) return kExitDegraded;
   return 0;
@@ -97,6 +114,8 @@ int runSingle(const driver::CliOptions& opts) {
 
 int runSuite(const driver::CliOptions& opts) {
   const auto& suite = codes::benchmarkSuite();
+  const driver::ValidateMode mode = validateModeFrom(opts);
+  const bool validating = mode != driver::ValidateMode::kNone;
 
   // Build phase. A code whose construction fails (e.g. an injected
   // frontend.parse fault) is reported and skipped; the rest still run.
@@ -118,11 +137,11 @@ int runSuite(const driver::CliOptions& opts) {
     item.program = &programs.back();
     item.label = suite[i].name;
     item.config.params = codes::bindParams(
-        programs.back(), opts.simulate ? suite[i].simParams : suite[i].smallParams);
+        programs.back(), validating ? suite[i].simParams : suite[i].smallParams);
     item.config.processors = 4;
     item.config.simulatePlan = false;
     item.config.simulateBaseline = false;
-    item.config.traceSimulate = opts.simulate;
+    item.config.validate = mode;
     item.config.jobs = opts.jobs;
     item.config.budget = budgetFrom(opts);
     itemIndex[i] = static_cast<int>(batch.size());
@@ -159,9 +178,12 @@ int runSuite(const driver::CliOptions& opts) {
       continue;
     }
     std::string verdict = "ok";
-    if (r->localityCheck && !r->localityCheck->ok()) {
+    if ((r->localityCheck && !r->localityCheck->ok()) || !r->symbolicAgrees()) {
       verdict = "VALIDATION FAILED";
       anyDisagreement = true;
+      if (!r->symbolicAgrees()) {
+        std::cout << "    differential: " << r->symbolicDifference << "\n";
+      }
     } else if (r->degraded()) {
       verdict = "degraded";
       anyDegraded = true;

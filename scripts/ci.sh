@@ -10,6 +10,7 @@
 #   scripts/ci.sh asan       # ASan+UBSan build of the robustness-critical tests
 #   scripts/ci.sh obs        # tfft2 with --trace-out/--metrics-out + validation
 #   scripts/ci.sh fault      # fault-injection/budget matrix: degraded but sound
+#   scripts/ci.sh symval     # symbolic-vs-trace differential + BENCH_symval.json
 #   scripts/ci.sh bench      # reproduction benches only
 #   scripts/ci.sh coverage   # gcov line coverage of src/symbolic + src/descriptors
 set -euo pipefail
@@ -119,6 +120,71 @@ fault() {
   expect_rc 2 "$bin" --fault garbage
   expect_rc 2 "$bin" --suite 8 8 4
   AD_FAULT_SPEC="tag@" expect_rc 2 "$bin" 8 8 4
+
+  # Probabilistic campaign (the tag%P:SEED grammar, docs/ROBUSTNESS.md): each
+  # seed decides firings by a hash of (seed, hit index), so the exit-code
+  # sequence over a fixed seed range is fully deterministic and asserted
+  # exactly. Two legs:
+  #   1. sim.trace%30 alone — a mix of hard failures (4) and clean runs (0);
+  #   2. plus symval.region%2 under --validate=both — the previously-clean
+  #      seeds now degrade (5), and every degraded region falls back to the
+  #      enumerating oracle, so differential agreement still holds (a 1
+  #      anywhere would mean the fallback produced different counts).
+  campaign() {
+    local spec="$1" want="$2" got="" rc seed
+    for seed in 1 2 3 4 5 6 7 8 9 10; do
+      rc=0
+      "$bin" --suite --validate=both --fault "${spec//SEED/$seed}" >/dev/null 2>&1 || rc=$?
+      got="$got$rc "
+    done
+    if [ "$got" != "$want" ]; then
+      echo "FAIL: campaign '$spec' over seeds 1..10 gave [$got], want [$want]" >&2
+      exit 1
+    fi
+    echo "ok (campaign): $spec over seeds 1..10 -> [$want]"
+  }
+  campaign "sim.trace%30:SEED" "4 0 4 4 0 4 4 4 4 4 "
+  campaign "sim.trace%30:SEED,symval.region%2:SEED" "4 5 4 4 5 4 4 4 4 4 "
+}
+
+symval() {
+  # Differential gate for the closed-form validator: the symbolic oracle must
+  # reproduce the enumerating simulator's observed trace byte-for-byte on
+  # every suite code (tests/symval_test.cpp), and the scale bench must hold
+  # its <100 ms bound at P=64 while emitting BENCH_symval.json, whose schema
+  # is validated here.
+  echo "=== symval: symbolic-vs-trace differential + scale bench ==="
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target symval_test symbolic_validation tfft2_pipeline
+  ./build/tests/symval_test
+  ./build/examples/tfft2_pipeline 8 8 4 --validate=both >/dev/null
+  ./build/bench/symbolic_validation
+  python3 - <<'EOF'
+import json
+
+doc = json.load(open("BENCH_symval.json"))
+assert doc["benchmark"] == "symbolic_validation", doc.get("benchmark")
+codes = doc["codes"]
+assert len(codes) == 6, f"want 6 codes, got {len(codes)}"
+for code in codes:
+    assert code["name"] and isinstance(code["params"], dict), code
+    procs = [r["processors"] for r in code["runs"]]
+    assert procs == [4, 8, 64, 1024], f"{code['name']}: runs at {procs}"
+    for run in code["runs"]:
+        for key in ("accesses", "symval_seconds", "sim_extrapolated_seconds",
+                    "local_fraction", "closed_form_regions", "enumerated_regions"):
+            assert key in run, f"{code['name']} P={run['processors']}: missing {key}"
+        assert run["accesses"] > 0
+        if run["processors"] <= 8:
+            assert run["differential"] == "agree", f"{code['name']}: {run}"
+        else:
+            assert run["differential"] is None
+        if run["processors"] == 64:
+            assert run["symval_seconds"] < 0.100, \
+                f"{code['name']} P=64 took {run['symval_seconds']}s"
+print(f"symval bench ok: {len(codes)} codes, differential agreement at P in (4, 8), "
+      f"P=64 under 100 ms")
+EOF
 }
 
 coverage() {
@@ -202,9 +268,10 @@ case "$stage" in
   asan) asan ;;
   obs) obs ;;
   fault) fault ;;
+  symval) symval ;;
   bench) bench ;;
   coverage) coverage ;;
-  all) tier1; tsan; asan; obs; fault; bench; coverage ;;
-  *) echo "unknown stage: $stage (tier1|tsan|asan|obs|fault|bench|coverage|all)" >&2; exit 2 ;;
+  all) tier1; tsan; asan; obs; fault; symval; bench; coverage ;;
+  *) echo "unknown stage: $stage (tier1|tsan|asan|obs|fault|symval|bench|coverage|all)" >&2; exit 2 ;;
 esac
 echo "CI gate passed."

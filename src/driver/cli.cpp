@@ -30,7 +30,7 @@ std::string cliUsage(std::string_view argv0) {
   out += "usage: ";
   out += argv0;
   out +=
-      " [P] [Q] [H] [--simulate] [--suite] [--jobs N]\n"
+      " [P] [Q] [H] [--simulate] [--validate=MODE] [--suite] [--jobs N]\n"
       "       [--fault SPEC] [--budget-steps N] [--budget-ms N]\n"
       "       [--trace-out=FILE] [--metrics-out=FILE]\n"
       "\n"
@@ -38,6 +38,9 @@ std::string cliUsage(std::string_view argv0) {
       "                  incompatible with --suite, which fixes its own sizes\n"
       "  --simulate      replay the plan on the parallel trace simulator and\n"
       "                  cross-check the Theorem-1/2 edge labels\n"
+      "  --validate=MODE trace (enumerate), symbolic (closed form), or both\n"
+      "                  (differential: the two must agree exactly); see\n"
+      "                  docs/VALIDATION.md\n"
       "  --suite         run all six benchmark codes as one batch\n"
       "  --jobs N        worker threads, N >= 1\n"
       "  --fault SPEC    deterministic fault injection: tag@N, tag@N+ or\n"
@@ -90,6 +93,12 @@ Expected<CliOptions> parseCli(int argc, const char* const* argv) {
       if (v == nullptr) return invalid("--budget-ms needs a millisecond count");
       if (!parseInt(v, opts.budgetMs) || opts.budgetMs < 0) {
         return invalid("bad --budget-ms value '" + std::string(v) + "': need an integer >= 0");
+      }
+    } else if (arg.rfind("--validate=", 0) == 0) {
+      opts.validate = arg.substr(sizeof("--validate=") - 1);
+      if (opts.validate != "trace" && opts.validate != "symbolic" && opts.validate != "both") {
+        return invalid("bad --validate value '" + opts.validate +
+                       "': want trace, symbolic, or both");
       }
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       opts.traceOut = arg.substr(sizeof("--trace-out=") - 1);

@@ -23,6 +23,10 @@ struct CliOptions {
   bool simulate = false;  ///< --simulate: trace-replay + Theorem-1/2 check
   bool suite = false;     ///< --suite: run the whole six-code benchmark suite
 
+  /// --validate=trace|symbolic|both: which validation oracle(s) to run (see
+  /// docs/VALIDATION.md). Empty = none requested (--simulate implies trace).
+  std::string validate;
+
   std::size_t jobs = 1;   ///< --jobs N (N >= 1)
 
   std::string traceOut;    ///< --trace-out=FILE
@@ -42,6 +46,7 @@ struct CliOptions {
 ///  - non-integer / out-of-range positionals, or more than three;
 ///  - positional sizes < 1;
 ///  - --budget-steps / --budget-ms negative or garbage;
+///  - --validate= values other than trace, symbolic, or both;
 ///  - --suite combined with positional P/Q/H (the suite fixes its own sizes).
 /// The --fault spec is validated later by FaultInjector::configure (the
 /// grammar lives there); parseCli only carries the string.

@@ -206,6 +206,13 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   obs::metrics().counter("ad.degrade.events");
   obs::metrics().counter("ad.budget.exhaustions");
   obs::metrics().counter("ad.fault.injected");
+  obs::metrics().counter("ad.symval.local_accesses");
+  obs::metrics().counter("ad.symval.remote_accesses");
+  obs::metrics().counter("ad.symval.remote_bytes");
+  obs::metrics().counter("ad.symval.regions_closed_form");
+  obs::metrics().counter("ad.symval.regions_enumerated");
+  obs::metrics().counter("ad.symval.redistributed_words");
+  obs::metrics().counter("ad.symval.frontier_words");
 
   // The run's budget (when one is configured) and degradation ledger. The
   // scopes are thread-local here; ThreadPool::submit forwards them to every
@@ -293,19 +300,39 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
                                  dsm::ExecutionPlan::naiveBlock(program, config.params,
                                                                 config.processors));
   }
-  if (config.traceSimulate) {
-    {
-      obs::Span s("pipeline.trace_sim");
-      ErrorContext stage("stage", "trace_sim");
-      sim::SimOptions so;
-      so.processors = config.processors;
-      result.trace = sim::simulateTrace(program, config.params, result.plan, so);
+  const ValidateMode mode = config.validate != ValidateMode::kNone
+                                ? config.validate
+                                : (config.traceSimulate ? ValidateMode::kTrace
+                                                        : ValidateMode::kNone);
+  if (mode == ValidateMode::kTrace || mode == ValidateMode::kBoth) {
+    obs::Span s("pipeline.trace_sim");
+    ErrorContext stage("stage", "trace_sim");
+    sim::SimOptions so;
+    so.processors = config.processors;
+    result.trace = sim::simulateTrace(program, config.params, result.plan, so);
+  }
+  if (mode == ValidateMode::kSymbolic || mode == ValidateMode::kBoth) {
+    obs::Span s("pipeline.symval");
+    ErrorContext stage("stage", "symval");
+    loc::SymvalOptions so;
+    so.processors = config.processors;
+    result.symbolic = loc::symbolicTrace(program, config.params, result.plan, so);
+  }
+  if (mode == ValidateMode::kBoth) {
+    // Differential oracle check: the two observed traces must be identical
+    // field for field (docs/VALIDATION.md).
+    if (auto diff = loc::describeTraceDifference(result.symbolic->observed,
+                                                 result.trace->observed)) {
+      result.symbolicDifference = std::move(*diff);
     }
+  }
+  if (mode != ValidateMode::kNone) {
     obs::Span s("pipeline.validate");
     ErrorContext stage("stage", "validate");
-    result.localityCheck = dsm::validateLocality(result.lcg, result.plan,
-                                                 result.trace->observed, config.params,
-                                                 config.processors);
+    const dsm::ObservedTrace& observed =
+        result.trace ? result.trace->observed : result.symbolic->observed;
+    result.localityCheck = dsm::validateLocality(result.lcg, result.plan, observed,
+                                                 config.params, config.processors);
   }
   result.degradation = degradationLedger.snapshot();
   return result;
@@ -405,6 +432,15 @@ std::string PipelineResult::report(const ir::Program& program) const {
   if (trace) {
     os << "\n=== Parallel trace simulation (" << trace->processors << " threads) ===\n"
        << trace->str();
+  }
+  if (symbolic) {
+    os << "\n=== Symbolic (closed-form) validation (H = " << symbolic->processors << ") ===\n"
+       << symbolic->str();
+  }
+  if (trace && symbolic) {
+    os << (symbolicAgrees()
+               ? "  DIFFERENTIAL: symbolic and enumerated traces agree exactly\n"
+               : "  DIFFERENTIAL MISMATCH: " + symbolicDifference + "\n");
   }
   if (!degradation.empty()) {
     os << "\n=== Degradation (conservative fallbacks) ===\n";

@@ -21,6 +21,7 @@
 #include "dsm/validate.hpp"
 #include "ilp/model.hpp"
 #include "lcg/lcg.hpp"
+#include "locality/symbolic_validate.hpp"
 #include "sim/trace_sim.hpp"
 #include "support/budget.hpp"
 
@@ -29,6 +30,13 @@ class ThreadPool;
 }  // namespace ad::support
 
 namespace ad::driver {
+
+/// Which trace-validation oracle(s) to run after planning (docs/VALIDATION.md):
+///  - kTrace:    enumerate every access on the parallel trace simulator;
+///  - kSymbolic: closed-form interval-intersection counts (O(descriptors));
+///  - kBoth:     run both and compare them field for field (differential
+///               mode; any difference is reported as a validation failure).
+enum class ValidateMode { kNone, kTrace, kSymbolic, kBoth };
 
 struct PipelineConfig {
   ir::Bindings params;            ///< numeric values for the program parameters
@@ -47,7 +55,13 @@ struct PipelineConfig {
   /// The `--simulate` stage: additionally replay the plan on the parallel
   /// trace simulator (one thread per simulated processor) and cross-check the
   /// observed communication against the LCG's Theorem-1/2 edge labels.
+  /// Legacy switch: equivalent to `validate = ValidateMode::kTrace`; ignored
+  /// when `validate` is set explicitly.
   bool traceSimulate = false;
+
+  /// Trace-validation oracle selection (`--validate=trace|symbolic|both`).
+  /// kNone defers to the legacy `traceSimulate` flag.
+  ValidateMode validate = ValidateMode::kNone;
 
   /// Worker threads for the batched engine (analyzeBatch). Within a single
   /// analyzeAndSimulate call this many workers also pick up the per-array
@@ -75,9 +89,18 @@ struct PipelineResult {
   dsm::SimulationResult naive;                ///< under the BLOCK baseline
   std::int64_t processors = 1;
 
-  /// Present when PipelineConfig::traceSimulate was set.
+  /// Present when trace validation ran (kTrace / kBoth, or traceSimulate).
   std::optional<sim::TraceResult> trace;                      ///< parallel replay
+  /// Present when symbolic validation ran (kSymbolic / kBoth).
+  std::optional<loc::SymbolicCounts> symbolic;                ///< closed-form counts
+  /// Theorem-1/2 check against whichever observed trace ran (the enumerated
+  /// one when both did — it is the oracle of the differential pair).
   std::optional<dsm::LocalityValidationReport> localityCheck; ///< vs Theorem 1/2
+  /// First difference between the two oracles in kBoth mode; empty when they
+  /// agree (symbolicAgrees() is the convenient predicate).
+  std::string symbolicDifference;
+
+  [[nodiscard]] bool symbolicAgrees() const noexcept { return symbolicDifference.empty(); }
 
   /// Conservative downgrades taken during this run (budget exhaustion or
   /// injected faults). Empty on a clean run — the result is then exactly the

@@ -1,0 +1,68 @@
+// Closed-form (symbolic) trace validation.
+//
+// The enumerating simulator (sim/trace_sim) classifies every concrete access
+// of every phase against the plan's distributions — exact, but O(accesses),
+// which caps it well below the paper's problem scales. This module computes
+// the *same* observed trace in closed form: each reference's access region is
+// collapsed into arithmetic progressions (loop-nest tails fold by exact
+// stride-merge rules), and each progression is intersected with the
+// processor-locality interval sets of sym/interval_set — owner blocks,
+// Theorem-1c replicated halos, and folded-storage reflections included. The
+// per-(phase, processor) local/remote counts and the redistribution
+// word/message counts then cost O(descriptor regions), independent of the
+// iteration counts being validated.
+//
+// The output is an dsm::ObservedTrace that must be *identical* — field for
+// field, ordering included — to sim::simulateTrace's on the same inputs;
+// `--validate=both` and the differential tests enforce exactly that.
+//
+// Degradation ladder: a region the algebra cannot collapse (non-affine
+// residue after numeric expansion, cap or budget exhaustion, or an injected
+// "symval.region" fault) falls back to the enumerating oracle for that
+// (phase, array) only — the counts stay exact, the run is marked degraded
+// via support::recordDegradation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dsm/validate.hpp"
+#include "ir/walker.hpp"
+
+namespace ad::loc {
+
+struct SymvalOptions {
+  std::int64_t processors = 8;
+  std::int64_t wordBytes = 8;  ///< bytes charged per remote access
+};
+
+/// Result of one closed-form validation run; `observed` has the exact shape
+/// sim::TraceResult::observed has.
+struct SymbolicCounts {
+  dsm::ObservedTrace observed;
+  std::int64_t processors = 0;
+  std::int64_t totalAccesses = 0;
+  double wallSeconds = 0.0;
+  std::int64_t closedFormRegions = 0;  ///< (phase, ref) regions counted algebraically
+  std::int64_t enumeratedRegions = 0;  ///< regions that fell back to enumeration
+
+  [[nodiscard]] double localFraction() const;
+  [[nodiscard]] std::string str() const;
+};
+
+/// Computes the plan's observed trace in closed form. Throws
+/// AnalysisError/ProgramError on unanalyzable inputs (same contract as
+/// sim::simulateTrace).
+[[nodiscard]] SymbolicCounts symbolicTrace(const ir::Program& program,
+                                           const ir::Bindings& params,
+                                           const dsm::ExecutionPlan& plan,
+                                           const SymvalOptions& opts = {});
+
+/// Differential comparison: first difference between the symbolic and the
+/// enumerated trace (counts, redistribution events, ordering); nullopt when
+/// byte-identical.
+[[nodiscard]] std::optional<std::string> describeTraceDifference(
+    const dsm::ObservedTrace& symbolic, const dsm::ObservedTrace& trace);
+
+}  // namespace ad::loc

@@ -1,0 +1,205 @@
+#include "symbolic/interval_set.hpp"
+
+#include <algorithm>
+
+#include "support/checked_int.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ad::sym {
+
+namespace {
+
+/// Non-negative case of the floor sum (a, s >= 0), the classic Euclidean
+/// descent: strip the whole multiples of m, then swap the roles of slope and
+/// modulus. Terminates in O(log) like gcd.
+unsigned __int128 floorSumUnsigned(unsigned __int128 n, unsigned __int128 m,
+                                   unsigned __int128 s, unsigned __int128 a) {
+  unsigned __int128 ans = 0;
+  while (true) {
+    if (s >= m) {
+      ans += n * (n - 1) / 2 * (s / m);
+      s %= m;
+    }
+    if (a >= m) {
+      ans += n * (a / m);
+      a %= m;
+    }
+    const unsigned __int128 yMax = s * n + a;
+    if (yMax < m) break;
+    n = yMax / m;
+    a = yMax % m;
+    std::swap(m, s);
+  }
+  return ans;
+}
+
+}  // namespace
+
+std::int64_t floorSum(std::int64_t a, std::int64_t s, std::int64_t n, std::int64_t m) {
+  AD_REQUIRE(m > 0, "floorSum modulus must be positive");
+  AD_REQUIRE(n >= 0, "floorSum count must be non-negative");
+  if (n == 0) return 0;
+  __int128 ans = 0;
+  std::uint64_t ua = 0;
+  std::uint64_t us = 0;
+  if (a < 0) {
+    const std::int64_t a2 = euclidMod(a, m);
+    ans -= static_cast<__int128>(n) * ((a2 - a) / m);
+    ua = static_cast<std::uint64_t>(a2);
+  } else {
+    ua = static_cast<std::uint64_t>(a);
+  }
+  if (s < 0) {
+    const std::int64_t s2 = euclidMod(s, m);
+    ans -= static_cast<__int128>(n) * (n - 1) / 2 * ((s2 - s) / m);
+    us = static_cast<std::uint64_t>(s2);
+  } else {
+    us = static_cast<std::uint64_t>(s);
+  }
+  ans += static_cast<__int128>(
+      floorSumUnsigned(static_cast<unsigned __int128>(n), static_cast<unsigned __int128>(m),
+                       us, ua));
+  AD_REQUIRE(ans >= INT64_MIN && ans <= INT64_MAX, "floorSum overflow");
+  return static_cast<std::int64_t>(ans);
+}
+
+std::int64_t countResiduesIn(std::int64_t a, std::int64_t s, std::int64_t n, std::int64_t m,
+                             std::int64_t lo, std::int64_t hi) {
+  AD_REQUIRE(0 <= lo && lo <= hi && hi <= m, "countResiduesIn interval out of range");
+  if (n == 0 || lo == hi) return 0;
+  // below(c) = #{ j : (a + s*j) mod m < c }.
+  const auto below = [&](std::int64_t c) {
+    if (c == 0) return std::int64_t{0};
+    if (c == m) return n;
+    return floorSum(a, s, n, m) - floorSum(a - c, s, n, m);
+  };
+  return below(hi) - below(lo);
+}
+
+ArithmeticProgression ArithmeticProgression::make(std::int64_t base, std::int64_t stride,
+                                                  std::int64_t count, std::int64_t repeat) {
+  AD_REQUIRE(count >= 0 && repeat >= 1, "bad progression shape");
+  ArithmeticProgression ap;
+  if (count == 0) return ap;
+  if (stride < 0) {
+    base = checkedAdd(base, checkedMul(stride, count - 1));
+    stride = -stride;
+  }
+  if (stride == 0 && count > 1) {
+    repeat = checkedMul(repeat, count);
+    count = 1;
+  }
+  ap.base = base;
+  ap.stride = stride;
+  ap.count = count;
+  ap.repeat = repeat;
+  return ap;
+}
+
+PeriodicIntervalSet::PeriodicIntervalSet(std::int64_t period) : period_(period) {
+  AD_REQUIRE(period > 0, "interval-set period must be positive");
+}
+
+void PeriodicIntervalSet::addWrapped(std::int64_t start, std::int64_t len) {
+  if (len <= 0) return;
+  if (len >= period_) {
+    intervals_.assign(1, {0, period_});
+    return;
+  }
+  const std::int64_t s = euclidMod(start, period_);
+  if (s + len <= period_) {
+    intervals_.emplace_back(s, s + len);
+  } else {
+    intervals_.emplace_back(s, period_);
+    intervals_.emplace_back(0, s + len - period_);
+  }
+  normalize();
+}
+
+void PeriodicIntervalSet::normalize() {
+  std::sort(intervals_.begin(), intervals_.end());
+  std::vector<std::pair<std::int64_t, std::int64_t>> merged;
+  for (const auto& iv : intervals_) {
+    if (!merged.empty() && iv.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, iv.second);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+bool PeriodicIntervalSet::contains(std::int64_t addr) const {
+  const std::int64_t r = euclidMod(addr, period_);
+  auto it = std::upper_bound(intervals_.begin(), intervals_.end(),
+                             std::make_pair(r, INT64_MAX));
+  if (it == intervals_.begin()) return false;
+  --it;
+  return r < it->second;
+}
+
+std::int64_t PeriodicIntervalSet::countAP(const ArithmeticProgression& ap) const {
+  if (ap.count == 0) return 0;
+  if (coversEverything()) return ap.total();
+  if (ap.stride == 0) return contains(ap.base) ? ap.total() : 0;
+  std::int64_t inSet = 0;
+  for (const auto& [lo, hi] : intervals_) {
+    inSet += countResiduesIn(ap.base, ap.stride, ap.count, period_, lo, hi);
+  }
+  return checkedMul(inSet, ap.repeat);
+}
+
+PeriodicIntervalSet localIntervals(std::int64_t block, std::int64_t processors, std::int64_t pe,
+                                   std::int64_t halo) {
+  AD_REQUIRE(block >= 1 && processors >= 1 && pe >= 0 && pe < processors,
+             "bad locality-set parameters");
+  PeriodicIntervalSet set(checkedMul(block, processors));
+  set.addWrapped(pe * block, block);
+  if (halo > 0) {
+    const std::int64_t hl = std::min(halo, block);
+    // pe holds the first `hl` elements of the successor block (the block b
+    // with b-1 == pe mod P) and the last `hl` of the predecessor block.
+    const std::int64_t succ = (pe + 1) % processors;
+    const std::int64_t pred = euclidMod(pe - 1, processors);
+    set.addWrapped(succ * block, hl);
+    set.addWrapped(pred * block + (block - hl), hl);
+  }
+  return set;
+}
+
+std::optional<PeriodicIntervalSet> foldedLocalIntervals(std::int64_t block, std::int64_t fold,
+                                                        std::int64_t processors, std::int64_t pe,
+                                                        std::int64_t halo,
+                                                        std::size_t maxIntervals) {
+  AD_REQUIRE(fold >= 1, "folded distribution needs a positive fold");
+  const PeriodicIntervalSet canonical = localIntervals(block, processors, pe, halo);
+  const std::int64_t M = canonical.period();
+  const std::int64_t half = fold / 2;  // sigma(m) = m for m <= half, fold - m above
+  const std::size_t expansions =
+      static_cast<std::size_t>(ceilDiv(fold, M)) * std::max<std::size_t>(1, canonical.intervals().size());
+  if (expansions > maxIntervals) return std::nullopt;
+
+  PeriodicIntervalSet raw(fold);
+  // Ascending piece: raw residues m in [0, half] classify as sigma(m) = m.
+  for (std::int64_t start = 0; start <= half; start += M) {
+    for (const auto& [lo, hi] : canonical.intervals()) {
+      const std::int64_t s = start + lo;
+      const std::int64_t e = std::min(start + hi, half + 1);
+      if (s <= half && s < e) raw.addWrapped(s, e - s);
+    }
+  }
+  // Descending piece: m in (half, fold) classifies as sigma(m) = fold - m,
+  // which ranges over [1, fold - half). An interval [clo, chi) of canonical
+  // addresses reflects to raw residues [fold - chi + 1, fold - clo + 1).
+  const std::int64_t cLimit = fold - half;  // canonical values 1 .. cLimit-1 occur
+  for (std::int64_t start = 0; start < cLimit; start += M) {
+    for (const auto& [lo, hi] : canonical.intervals()) {
+      const std::int64_t clo = std::max<std::int64_t>(start + lo, 1);
+      const std::int64_t chi = std::min(start + hi, cLimit);
+      if (clo < chi) raw.addWrapped(fold - chi + 1, chi - clo);
+    }
+  }
+  return raw;
+}
+
+}  // namespace ad::sym

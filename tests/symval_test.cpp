@@ -1,0 +1,393 @@
+// Closed-form symbolic trace validation (locality/symbolic_validate):
+// differential agreement with the enumerating simulator across the whole
+// benchmark suite, hand-computed stencil fixtures, property-fuzzed interval
+// algebra, and the degraded (budget/fault) fallback path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codes/suite.hpp"
+#include "codes/tfft2.hpp"
+#include "driver/pipeline.hpp"
+#include "dsm/machine.hpp"
+#include "ir/ir.hpp"
+#include "locality/symbolic_validate.hpp"
+#include "sim/trace_sim.hpp"
+#include "support/budget.hpp"
+#include "support/fault.hpp"
+#include "symbolic/interval_set.hpp"
+
+namespace ad::loc {
+namespace {
+
+/// The sim_test stencil: two phases, every access classifiable by hand.
+///
+///   produce: doall i = 0..7   write A(i)
+///   smooth:  doall i = 1..6   read A(i-1), A(i), A(i+1); write B(i)
+ir::Program makeStencil() {
+  ir::Program prog;
+  const auto c = [](std::int64_t v) { return sym::Expr::constant(v); };
+  prog.declareArray("A", c(8));
+  prog.declareArray("B", c(8));
+  {
+    ir::PhaseBuilder b(prog, "produce");
+    b.doall("i", c(0), c(7));
+    b.write("A", b.idx("i"));
+    b.commit();
+  }
+  {
+    ir::PhaseBuilder b(prog, "smooth");
+    b.doall("i", c(1), c(6));
+    b.read("A", b.idx("i") - c(1));
+    b.read("A", b.idx("i"));
+    b.read("A", b.idx("i") + c(1));
+    b.write("B", b.idx("i"));
+    b.commit();
+  }
+  prog.validate();
+  return prog;
+}
+
+/// Uniform two-phase plan for the stencil under one data distribution.
+dsm::ExecutionPlan uniformPlan(const dsm::DataDistribution& dist, std::int64_t chunk,
+                               std::int64_t halo) {
+  dsm::ExecutionPlan plan;
+  plan.iteration = {dsm::IterationDistribution{chunk}, dsm::IterationDistribution{chunk}};
+  plan.data["A"].assign(2, dist);
+  plan.data["B"].assign(2, dist);
+  plan.halo["A"] = {halo, halo};
+  plan.halo["B"] = {0, 0};
+  return plan;
+}
+
+/// Runs both oracles and expects byte-identical observed traces.
+void expectOraclesAgree(const ir::Program& prog, const dsm::ExecutionPlan& plan,
+                        std::int64_t processors) {
+  sim::SimOptions simOpts;
+  simOpts.processors = processors;
+  const sim::TraceResult trace = sim::simulateTrace(prog, {}, plan, simOpts);
+
+  SymvalOptions opts;
+  opts.processors = processors;
+  const SymbolicCounts symbolic = symbolicTrace(prog, {}, plan, opts);
+
+  const auto diff = describeTraceDifference(symbolic.observed, trace.observed);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+  EXPECT_EQ(symbolic.totalAccesses, trace.totalAccesses);
+}
+
+// --- Hand-computed closed-form fixture -------------------------------------
+
+TEST(Symval, HandComputedStencilCounts) {
+  // Same classification as sim_test's HandComputedStencilCounts, but computed
+  // without enumerating a single access: CYCLIC(4) on H = 2 gives
+  // executor(i) = (i / 4) % 2, and BLOCK-CYCLIC(4) owners match, so only the
+  // two block-boundary-crossing reads (A(3) from PE 1, A(4) from PE 0) are
+  // remote.
+  const ir::Program prog = makeStencil();
+  const auto plan = uniformPlan(dsm::DataDistribution::blockCyclic(4), 4, 0);
+
+  SymvalOptions opts;
+  opts.processors = 2;
+  const SymbolicCounts r = symbolicTrace(prog, {}, plan, opts);
+
+  EXPECT_EQ(r.totalAccesses, 8 + 18 + 6);
+  EXPECT_GT(r.closedFormRegions, 0);
+  EXPECT_EQ(r.enumeratedRegions, 0);  // nothing should need the fallback
+
+  ASSERT_EQ(r.observed.phases.size(), 2u);
+  const auto& produce = r.observed.phases[0];
+  EXPECT_EQ(produce.arrays.at("A").local, 8);
+  EXPECT_EQ(produce.arrays.at("A").remote, 0);
+  const auto& smooth = r.observed.phases[1];
+  EXPECT_EQ(smooth.arrays.at("A").local, 16);
+  EXPECT_EQ(smooth.arrays.at("A").remote, 2);
+  EXPECT_EQ(smooth.arrays.at("A").remoteBytes, 16);
+  EXPECT_EQ(smooth.arrays.at("B").local, 6);
+  EXPECT_EQ(smooth.arrays.at("B").remote, 0);
+}
+
+TEST(Symval, HaloMakesStencilFullyLocal) {
+  // A one-element halo replicates exactly the boundary elements the stencil
+  // reaches across, so every access becomes local (Theorem 1c).
+  const ir::Program prog = makeStencil();
+  const auto plan = uniformPlan(dsm::DataDistribution::blockCyclic(4), 4, 1);
+
+  SymvalOptions opts;
+  opts.processors = 2;
+  const SymbolicCounts r = symbolicTrace(prog, {}, plan, opts);
+
+  ASSERT_EQ(r.observed.phases.size(), 2u);
+  EXPECT_EQ(r.observed.phases[1].arrays.at("A").remote, 0);
+  EXPECT_EQ(r.localFraction(), 1.0);
+}
+
+// --- Differential vs the enumerating oracle, explicit distributions --------
+
+TEST(Symval, AgreesUnderBlock) {
+  const ir::Program prog = makeStencil();
+  expectOraclesAgree(prog, uniformPlan(dsm::DataDistribution::blocked(8, 2), 4, 0), 2);
+  expectOraclesAgree(prog, uniformPlan(dsm::DataDistribution::blocked(8, 4), 2, 1), 4);
+}
+
+TEST(Symval, AgreesUnderCyclic) {
+  const ir::Program prog = makeStencil();
+  expectOraclesAgree(prog, uniformPlan(dsm::DataDistribution::blockCyclic(1), 1, 0), 2);
+  expectOraclesAgree(prog, uniformPlan(dsm::DataDistribution::blockCyclic(1), 1, 0), 4);
+}
+
+TEST(Symval, AgreesUnderBlockCyclic) {
+  const ir::Program prog = makeStencil();
+  for (const std::int64_t b : {2, 3, 4}) {
+    for (const std::int64_t h : {0, 1}) {
+      expectOraclesAgree(prog, uniformPlan(dsm::DataDistribution::blockCyclic(b), b, h), 2);
+    }
+  }
+}
+
+TEST(Symval, AgreesUnderFoldedStorage) {
+  // Folded ("reverse") storage: mirror pairs co-located, locality classified
+  // after the sigma reflection. Chunk and block need not match.
+  const ir::Program prog = makeStencil();
+  expectOraclesAgree(prog, uniformPlan(dsm::DataDistribution::foldedBlockCyclic(2, 8), 2, 0), 2);
+  expectOraclesAgree(prog, uniformPlan(dsm::DataDistribution::foldedBlockCyclic(1, 8), 4, 1), 2);
+}
+
+// --- Differential across the whole benchmark suite -------------------------
+
+class SymvalSuite : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SymvalSuite, DifferentialAgreesAtAllP) {
+  const codes::CodeInfo& info = codes::benchmarkSuite()[GetParam()];
+  const ir::Program prog = info.build();
+  for (const std::int64_t processors : {1, 4, 8}) {
+    driver::PipelineConfig config;
+    config.params = codes::bindParams(prog, info.smallParams);
+    config.processors = processors;
+    config.simulatePlan = false;
+    config.simulateBaseline = false;
+    config.validate = driver::ValidateMode::kBoth;
+    const auto result = driver::analyzeAndSimulate(prog, config);
+    ASSERT_TRUE(result.trace.has_value());
+    ASSERT_TRUE(result.symbolic.has_value());
+    EXPECT_TRUE(result.symbolicAgrees())
+        << info.name << " H=" << processors << ": " << result.symbolicDifference;
+    ASSERT_TRUE(result.localityCheck.has_value());
+    EXPECT_TRUE(result.localityCheck->ok()) << info.name << " H=" << processors;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, SymvalSuite,
+                         ::testing::Range<std::size_t>(0, codes::benchmarkSuite().size()),
+                         [](const auto& i) { return codes::benchmarkSuite()[i.param].name; });
+
+// --- Property fuzz: interval algebra vs brute-force classification ---------
+
+/// xorshift64* — deterministic, seed-stable across platforms.
+std::uint64_t nextRand(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+TEST(Symval, PropertyCountAPMatchesBruteForce) {
+  std::uint64_t rng = 0xAD0C1999;  // fixed seed: failures must reproduce
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::int64_t block = 1 + static_cast<std::int64_t>(nextRand(rng) % 6);
+    const std::int64_t processors = 1 + static_cast<std::int64_t>(nextRand(rng) % 5);
+    const std::int64_t pe = static_cast<std::int64_t>(nextRand(rng) % processors);
+    const std::int64_t halo = static_cast<std::int64_t>(nextRand(rng) % 3);
+    const auto dist = dsm::DataDistribution::blockCyclic(block);
+
+    const sym::PeriodicIntervalSet set = sym::localIntervals(block, processors, pe, halo);
+    // Base offset 300 keeps every address non-negative even after make()
+    // canonicalizes a descending progression (base + stride*(count-1) shift).
+    const auto ap = sym::ArithmeticProgression::make(
+        300 + static_cast<std::int64_t>(nextRand(rng) % 64),
+        static_cast<std::int64_t>(nextRand(rng) % 15) - 7,
+        1 + static_cast<std::int64_t>(nextRand(rng) % 40),
+        1 + static_cast<std::int64_t>(nextRand(rng) % 3));
+    ASSERT_GE(ap.stride, 0);  // make() canonicalizes
+    ASSERT_GE(ap.base, 0);
+
+    std::int64_t brute = 0;
+    for (std::int64_t j = 0; j < ap.count; ++j) {
+      const std::int64_t addr = ap.base + ap.stride * j;
+      if (dist.isLocal(addr, pe, processors, halo)) brute += ap.repeat;
+      EXPECT_EQ(set.contains(addr), dist.isLocal(addr, pe, processors, halo))
+          << "addr=" << addr << " block=" << block << " P=" << processors << " pe=" << pe
+          << " halo=" << halo;
+    }
+    EXPECT_EQ(set.countAP(ap), brute)
+        << "base=" << ap.base << " stride=" << ap.stride << " count=" << ap.count
+        << " repeat=" << ap.repeat << " block=" << block << " P=" << processors
+        << " pe=" << pe << " halo=" << halo;
+  }
+}
+
+TEST(Symval, PropertyFoldedCountAPMatchesBruteForce) {
+  std::uint64_t rng = 0xF01DED;
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::int64_t block = 1 + static_cast<std::int64_t>(nextRand(rng) % 4);
+    const std::int64_t processors = 1 + static_cast<std::int64_t>(nextRand(rng) % 4);
+    const std::int64_t pe = static_cast<std::int64_t>(nextRand(rng) % processors);
+    const std::int64_t halo = static_cast<std::int64_t>(nextRand(rng) % 2);
+    const std::int64_t fold = 2 * block * processors *
+                              (1 + static_cast<std::int64_t>(nextRand(rng) % 3));
+    const auto dist = dsm::DataDistribution::foldedBlockCyclic(block, fold);
+
+    const auto set = sym::foldedLocalIntervals(block, fold, processors, pe, halo);
+    ASSERT_TRUE(set.has_value());
+    const auto ap = sym::ArithmeticProgression::make(
+        300 + static_cast<std::int64_t>(nextRand(rng) % 96),
+        static_cast<std::int64_t>(nextRand(rng) % 13) - 6,
+        1 + static_cast<std::int64_t>(nextRand(rng) % 48),
+        1 + static_cast<std::int64_t>(nextRand(rng) % 2));
+    ASSERT_GE(ap.base, 0);
+
+    std::int64_t brute = 0;
+    for (std::int64_t j = 0; j < ap.count; ++j) {
+      const std::int64_t addr = ap.base + ap.stride * j;
+      if (dist.isLocal(addr, pe, processors, halo)) brute += ap.repeat;
+      EXPECT_EQ(set->contains(addr), dist.isLocal(addr, pe, processors, halo))
+          << "addr=" << addr << " block=" << block << " fold=" << fold << " P=" << processors
+          << " pe=" << pe << " halo=" << halo;
+    }
+    EXPECT_EQ(set->countAP(ap), brute)
+        << "base=" << ap.base << " stride=" << ap.stride << " count=" << ap.count
+        << " block=" << block << " fold=" << fold << " P=" << processors << " pe=" << pe
+        << " halo=" << halo;
+  }
+}
+
+TEST(Symval, FloorSumMatchesBruteForce) {
+  std::uint64_t rng = 0x5EED;
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::int64_t m = 1 + static_cast<std::int64_t>(nextRand(rng) % 30);
+    const std::int64_t a = static_cast<std::int64_t>(nextRand(rng) % 200) - 100;
+    const std::int64_t s = static_cast<std::int64_t>(nextRand(rng) % 40) - 20;
+    const std::int64_t n = static_cast<std::int64_t>(nextRand(rng) % 50);
+    std::int64_t brute = 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int64_t x = a + s * j;
+      // floor division toward -inf
+      brute += (x >= 0) ? x / m : -((-x + m - 1) / m);
+    }
+    EXPECT_EQ(sym::floorSum(a, s, n, m), brute) << "a=" << a << " s=" << s << " n=" << n
+                                                << " m=" << m;
+  }
+}
+
+// --- Degraded paths: budget exhaustion and fault injection -----------------
+
+/// Installs an already-exhausted budget plus a degradation ledger, as
+/// tests/degradation_test.cpp does.
+class ExhaustedBudget {
+ public:
+  ExhaustedBudget() : budget_(limits()), scope_(&budget_), ledgerScope_(&ledger_) {
+    budget_.exhaust(support::BudgetStop::kSteps);
+  }
+
+  [[nodiscard]] const support::DegradationReport& ledger() const { return ledger_; }
+
+ private:
+  static support::BudgetLimits limits() {
+    support::BudgetLimits l;
+    l.proverSteps = 1;
+    return l;
+  }
+  support::Budget budget_;
+  support::BudgetScope scope_;
+  support::DegradationReport ledger_;
+  support::DegradationScope ledgerScope_;
+};
+
+bool hasStage(const std::vector<support::DegradationEvent>& events, std::string_view stage) {
+  for (const auto& e : events) {
+    if (e.stage == stage) return true;
+  }
+  return false;
+}
+
+TEST(SymvalDegraded, ExhaustedBudgetFallsBackToExactEnumeration) {
+  // With the prover budget gone, every region degrades to the enumerating
+  // fallback — the counts must STILL equal the simulator's exactly (the
+  // ladder trades speed, never precision), and the ledger must say so.
+  const ir::Program prog = makeStencil();
+  const auto plan = uniformPlan(dsm::DataDistribution::blockCyclic(4), 4, 1);
+
+  sim::SimOptions simOpts;
+  simOpts.processors = 2;
+  const sim::TraceResult trace = sim::simulateTrace(prog, {}, plan, simOpts);
+
+  ExhaustedBudget exhausted;
+  SymvalOptions opts;
+  opts.processors = 2;
+  const SymbolicCounts symbolic = symbolicTrace(prog, {}, plan, opts);
+
+  const auto diff = describeTraceDifference(symbolic.observed, trace.observed);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+  EXPECT_GT(symbolic.enumeratedRegions, 0);
+  EXPECT_TRUE(hasStage(exhausted.ledger().snapshot(), "symval.region"));
+}
+
+class SymvalFault : public ::testing::Test {
+ protected:
+  void TearDown() override { support::FaultInjector::global().clear(); }
+};
+
+TEST_F(SymvalFault, InjectedRegionFaultDegradesSoundly) {
+  ASSERT_TRUE(support::FaultInjector::global().configure("symval.region@1").isOk());
+
+  const ir::Program prog = makeStencil();
+  const auto plan = uniformPlan(dsm::DataDistribution::blockCyclic(4), 4, 0);
+
+  support::DegradationReport ledger;
+  std::optional<SymbolicCounts> symbolic;
+  {
+    support::DegradationScope scope(&ledger);
+    SymvalOptions opts;
+    opts.processors = 2;
+    symbolic = symbolicTrace(prog, {}, plan, opts);
+  }
+  support::FaultInjector::global().clear();
+
+  sim::SimOptions simOpts;
+  simOpts.processors = 2;
+  const sim::TraceResult trace = sim::simulateTrace(prog, {}, plan, simOpts);
+
+  const auto diff = describeTraceDifference(symbolic->observed, trace.observed);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+  EXPECT_GT(symbolic->enumeratedRegions, 0);
+  const auto events = ledger.snapshot();
+  ASSERT_TRUE(hasStage(events, "symval.region"));
+  for (const auto& e : events) {
+    if (e.stage == "symval.region") {
+      EXPECT_EQ(e.cause, "fault");
+    }
+  }
+}
+
+// --- Differential detector actually detects --------------------------------
+
+TEST(Symval, DescribeTraceDifferenceFlagsMismatch) {
+  const ir::Program prog = makeStencil();
+  const auto plan = uniformPlan(dsm::DataDistribution::blockCyclic(4), 4, 0);
+  SymvalOptions opts;
+  opts.processors = 2;
+  const SymbolicCounts a = symbolicTrace(prog, {}, plan, opts);
+
+  dsm::ObservedTrace tampered = a.observed;
+  ASSERT_FALSE(tampered.phases.empty());
+  tampered.phases[1].arrays.at("A").local += 1;
+  const auto diff = describeTraceDifference(a.observed, tampered);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("smooth"), std::string::npos) << *diff;
+}
+
+}  // namespace
+}  // namespace ad::loc
