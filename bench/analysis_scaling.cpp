@@ -1,20 +1,34 @@
-// Batched analysis engine scaling: serial legacy engine vs the memoized
-// work-stealing engine at 1/2/4/8 worker threads.
+// Batched analysis engine scaling on a 126-code workload: serial legacy
+// engine vs the memoized work-stealing engine at 1/2/4/8 worker threads.
 //
-// Workload: the full six-code suite, each analyzed at H in {1, 4, 8}
-// (18 pipeline runs per leg), analysis only — LCG construction, ILP, plan
+// Workload: the six-code benchmark suite analyzed at H in {1, 4, 8} (18
+// pipeline configs), plus 114 generated stencil codes (bench/workload_gen.hpp
+// — six shared stride/offset families, rotated per variant) analyzed at H=4,
+// plus 6 pow2 butterfly codes (TFFT2's cost class: 2^(l-1) subscripts that
+// are expensive for the prover, composed from a six-kernel shared pool)
+// analyzed at H in {1, 4, 8}. Analysis only — LCG construction, ILP, plan
 // derivation and communication generation, no DSM replay. "serial" is the
-// pre-batching engine: proof memo disabled, no pool. The batched legs share
-// one cold proof memo per leg, so their advantage combines memoized
-// descriptor algebra (stride/offset families recur across codes and
-// processor counts) with parallel per-array analysis.
+// pre-batching engine: proof memo disabled, no pool, one config at a time.
+// The batched legs share one cold proof memo per leg, so their advantage
+// combines memoized descriptor algebra (the stride families recur across
+// arrays, phases, codes, and processor counts) with the phase-array result
+// memo (structurally identical phases analyze once, wherever they appear)
+// and parallel per-(phase,array) analysis.
 //
-// Emits BENCH_analysis.json:
-//   { "serial_ms": ..., "runs": [{"jobs": J, "ms": ..., "speedup": ...}...],
-//     "tfft2": {"hits": ..., "misses": ..., "hit_rate": ...} }
+// The jobs=8 leg runs with the contention profiler and tracer enabled and
+// reports where its wall-clock went: per-stage span totals (lcg.build,
+// ilp.solve, ...) and the ad.profile.v1 per-thread work/wait split are
+// printed and embedded in the artifact.
+//
+// Emits BENCH_analysis.json (schema ad.bench.analysis.v2):
+//   { "workload": {...}, "serial_ms": ...,
+//     "runs": [{"jobs": J, "ms": ..., "speedup": ...} ...],
+//     "tfft2": {"hits": ..., "misses": ..., "hit_rate": ...},
+//     "stages": [{"name": ..., "count": ..., "total_us": ...} ...],
+//     "profile": {ad.profile.v1} }
 //
 // Acceptance (checked here, nonzero exit on failure):
-//   - >= 2x wall-time reduction at jobs=8 vs the serial engine,
+//   - >= 5x wall-time reduction at jobs=8 vs the serial engine,
 //   - > 50% proof-memo hit rate on the TFFT2 segment.
 #include <chrono>
 #include <sstream>
@@ -24,7 +38,12 @@
 #include "codes/suite.hpp"
 #include "codes/tfft2.hpp"
 #include "driver/pipeline.hpp"
+#include "frontend/parser.hpp"
+#include "locality/analysis.hpp"
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "symbolic/intern.hpp"
+#include "workload_gen.hpp"
 
 namespace {
 
@@ -34,20 +53,27 @@ double msSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
+constexpr std::size_t kGenFamilies = 6;
+constexpr std::size_t kGenVariants = 19;  // 6 * 19 = 114 generated stencils
+
 struct Workload {
   std::vector<ad::ir::Program> programs;  ///< stable addresses
   std::vector<ad::driver::BatchItem> batch;
+  std::size_t codes = 0;
+  std::size_t generated = 0;
 };
 
 Workload makeWorkload() {
   Workload w;
   const auto& suite = ad::codes::benchmarkSuite();
-  w.programs.reserve(suite.size());
+  w.programs.reserve(suite.size() + kGenFamilies * kGenVariants + ad::bench::kPow2Variants);
   for (const auto& info : suite) w.programs.push_back(info.build());
+  // Suite codes at three processor counts (the original scaling workload).
   for (const std::int64_t h : {1, 4, 8}) {
     for (std::size_t i = 0; i < suite.size(); ++i) {
       ad::driver::BatchItem item;
       item.program = &w.programs[i];
+      item.label = suite[i].name;
       item.config.params = ad::codes::bindParams(w.programs[i], suite[i].smallParams);
       item.config.processors = h;
       item.config.simulatePlan = false;
@@ -55,6 +81,44 @@ Workload makeWorkload() {
       w.batch.push_back(std::move(item));
     }
   }
+  // Generated stencil codes, one config each at H=4.
+  for (std::size_t f = 0; f < kGenFamilies; ++f) {
+    for (std::size_t v = 0; v < kGenVariants; ++v) {
+      w.programs.push_back(
+          ad::frontend::parseProgram(ad::bench::generateStencilSource(f, v)));
+      ad::driver::BatchItem item;
+      item.program = &w.programs.back();
+      item.label = ad::bench::generatedLabel(f, v);
+      item.config.params = ad::codes::bindParams(w.programs.back(), {{"N", 64}});
+      item.config.processors = 4;
+      item.config.simulatePlan = false;
+      item.config.simulateBaseline = false;
+      w.batch.push_back(std::move(item));
+      ++w.generated;
+    }
+  }
+  // Pow2 butterfly codes at three processor counts: individually expensive
+  // for the serial engine, near-free for the memoized one (shared kernels).
+  {
+    const std::size_t first = w.programs.size();
+    for (std::size_t v = 0; v < ad::bench::kPow2Variants; ++v) {
+      w.programs.push_back(ad::frontend::parseProgram(ad::bench::generatePow2Source(v)));
+      ++w.generated;
+    }
+    for (const std::int64_t h : {1, 4, 8}) {
+      for (std::size_t v = 0; v < ad::bench::kPow2Variants; ++v) {
+        ad::driver::BatchItem item;
+        item.program = &w.programs[first + v];
+        item.label = ad::bench::pow2Label(v);
+        item.config.params = ad::codes::bindParams(w.programs[first + v], {{"N", 64}});
+        item.config.processors = h;
+        item.config.simulatePlan = false;
+        item.config.simulateBaseline = false;
+        w.batch.push_back(std::move(item));
+      }
+    }
+  }
+  w.codes = suite.size() + w.generated;
   return w;
 }
 
@@ -62,9 +126,12 @@ Workload makeWorkload() {
 
 int main() {
   using namespace ad;
-  bench::Reporter r("Batched analysis engine scaling (six-code suite x H in {1,4,8})");
+  bench::Reporter r(
+      "Batched analysis engine scaling (six-code suite x H in {1,4,8} + 120 generated codes)");
 
   const Workload w = makeWorkload();
+  r.note("workload: " + std::to_string(w.codes) + " codes (" + std::to_string(w.generated) +
+         " generated), " + std::to_string(w.batch.size()) + " configs");
 
   // Serial baseline: the legacy engine — no memo, no pool, one item at a time.
   double serialMs = 0.0;
@@ -90,7 +157,8 @@ int main() {
   std::vector<Leg> legs;
   for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
     sym::ProofMemoEnabledGuard on(true);
-    sym::ProofMemo::global().clear();  // each leg earns its own cache
+    sym::ProofMemo::global().clear();  // each leg earns its own caches
+    loc::clearPhaseArrayMemo();
     const auto start = Clock::now();
     const auto results = driver::analyzeBatch(w.batch, jobs);
     const double ms = msSince(start);
@@ -106,6 +174,56 @@ int main() {
     r.note(line.str());
   }
 
+  // Warm leg: jobs=8 re-run against the previous leg's caches. The gap
+  // between this and the cold jobs=8 leg is the cost of cache misses; the
+  // warm time itself is the floor of non-memoizable per-config work.
+  {
+    sym::ProofMemoEnabledGuard on(true);
+    const auto start = Clock::now();
+    const auto results = driver::analyzeBatch(w.batch, 8);
+    const double ms = msSince(start);
+    std::size_t done = 0;
+    for (const auto& res : results) done += res.has_value() ? 1 : 0;
+    r.checkTrue("warm leg analyzed all configs", done == w.batch.size());
+    std::ostringstream line;
+    line << "jobs=8 warm: " << ms << " ms  (speedup " << (serialMs / ms) << "x)";
+    r.note(line.str());
+  }
+
+  // Diagnostic leg: jobs=8 again with the contention profiler and tracer on.
+  // Kept out of the timing table so profiling overhead never contaminates
+  // the speedup gate — its job is to answer "where did the time go".
+  std::string profileJson;
+  std::map<std::string, obs::SpanStats> stageStats;
+  {
+    sym::ProofMemoEnabledGuard on(true);
+    sym::ProofMemo::global().clear();
+    loc::clearPhaseArrayMemo();
+    obs::profiler().reset();
+    obs::profiler().enable();
+    obs::tracer().clear();
+    obs::tracer().enable();
+    const auto results = driver::analyzeBatch(w.batch, 8);
+    obs::profiler().disable();
+    obs::tracer().disable();
+    profileJson = obs::profiler().summary();
+    stageStats = obs::tracer().statsByName();
+    std::size_t done = 0;
+    for (const auto& res : results) done += res.has_value() ? 1 : 0;
+    r.checkTrue("profiled diagnostic leg analyzed all configs", done == w.batch.size());
+  }
+
+  // Per-stage breakdown of the profiled leg: span totals answer "which stage",
+  // the profile's thread rows answer "work or wait". Span totals are summed
+  // over all executing threads, so nested spans overlap-count by design.
+  r.note("per-stage breakdown (profiled jobs=8 leg):");
+  for (const auto& [name, stats] : stageStats) {
+    std::ostringstream line;
+    line << "  " << name << ": " << stats.count << " spans, " << stats.totalUs / 1000.0
+         << " ms total";
+    r.note(line.str());
+  }
+
   // TFFT2 cache-locality segment: the running example analyzed at the three
   // processor counts against one cold memo. analyzePhaseArray is
   // H-independent, so the cross-H reuse is exactly what the memo captures.
@@ -113,6 +231,7 @@ int main() {
   {
     sym::ProofMemoEnabledGuard on(true);
     sym::ProofMemo::global().clear();
+    loc::clearPhaseArrayMemo();
     const ir::Program prog = codes::makeTFFT2();
     for (const std::int64_t h : {1, 4, 8}) {
       driver::PipelineConfig config;
@@ -131,17 +250,17 @@ int main() {
   r.note(hitLine.str());
 
   const double best = legs.back().speedup;
-  r.checkTrue(">= 2x wall-time reduction at jobs=8 vs the serial engine (got " +
+  r.checkTrue(">= 5x wall-time reduction at jobs=8 vs the serial engine (got " +
                   std::to_string(best) + "x)",
-              best >= 2.0);
+              best >= 5.0);
   r.checkTrue("> 50% proof-memo hit rate on TFFT2 (got " +
                   std::to_string(tfft2Stats.hitRate() * 100.0) + "%)",
               tfft2Stats.hitRate() > 0.5);
 
   std::ostringstream json;
-  json << "{\n  \"schema\": \"ad.bench.analysis.v1\",\n";
-  json << "  \"workload\": {\"codes\": 6, \"processor_counts\": [1, 4, 8], \"configs\": "
-       << w.batch.size() << "},\n";
+  json << "{\n  \"schema\": \"ad.bench.analysis.v2\",\n";
+  json << "  \"workload\": {\"codes\": " << w.codes << ", \"generated\": " << w.generated
+       << ", \"processor_counts\": [1, 4, 8], \"configs\": " << w.batch.size() << "},\n";
   json << "  \"serial_ms\": " << serialMs << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < legs.size(); ++i) {
     json << "    {\"jobs\": " << legs[i].jobs << ", \"ms\": " << legs[i].ms
@@ -150,7 +269,17 @@ int main() {
   }
   json << "  ],\n  \"tfft2\": {\"hits\": " << tfft2Stats.hits
        << ", \"misses\": " << tfft2Stats.misses << ", \"hit_rate\": " << tfft2Stats.hitRate()
-       << "}\n}\n";
+       << "},\n";
+  json << "  \"stages\": [\n";
+  {
+    std::size_t i = 0;
+    for (const auto& [name, stats] : stageStats) {
+      json << "    {\"name\": \"" << name << "\", \"count\": " << stats.count
+           << ", \"total_us\": " << stats.totalUs << "}"
+           << (++i < stageStats.size() ? "," : "") << "\n";
+    }
+  }
+  json << "  ],\n  \"profile\": " << (profileJson.empty() ? "{}" : profileJson) << "\n}\n";
   if (!bench::writeTextFile("BENCH_analysis.json", json.str())) return EXIT_FAILURE;
   r.note("wrote BENCH_analysis.json");
 

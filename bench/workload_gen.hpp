@@ -1,0 +1,131 @@
+// Synthetic stencil-code generator for the scaling benches.
+//
+// Real DSM workloads are not six codes — they are hundreds of loop nests
+// drawn from a handful of recurring stride/offset families (unit-stride
+// rows, row halos, column halos, five-point stars...). The generator
+// reproduces that shape in the mini-Fortran frontend: every generated code
+// is a chain of stencil phases whose subscript expressions are picked from a
+// small set of shared families, so a batch of N generated codes gives the
+// proof memo exactly the cross-code redundancy the paper's descriptor
+// algebra exhibits on real programs, while every code still parses, builds
+// IR, and analyzes through the full pipeline.
+//
+// Determinism: generation is a pure function of (family, variant) — the
+// bench workload is identical on every run and every machine.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ad::bench {
+
+/// One stencil offset family: subscript expressions over the canonical
+/// `N*i + j` row-major walk. Families are what recur across codes.
+inline const std::vector<std::vector<std::string>>& offsetFamilies() {
+  static const std::vector<std::vector<std::string>> families = {
+      // unit-stride row with right halo
+      {"N*i + j", "N*i + j + 1"},
+      // row with both halos
+      {"N*i + j", "N*i + j - 1", "N*i + j + 1"},
+      // column halo below
+      {"N*i + j", "N*i + N + j"},
+      // column halos both sides
+      {"N*i + j", "N*i - N + j", "N*i + N + j"},
+      // five-point star
+      {"N*i + j", "N*i + j - 1", "N*i + j + 1", "N*i - N + j", "N*i + N + j"},
+      // strided gather (stride-2 row)
+      {"N*i + 2*j", "N*i + 2*j + 1"},
+  };
+  return families;
+}
+
+/// Mini-Fortran source of generated code (family, variant). Structure:
+///  - arrays A0..Ap (one per phase boundary), all N*N;
+///  - phase k reads Ak through a rotated slice of the family's offsets and
+///    writes A(k+1) at the canonical point — a locality chain like swim's;
+///  - the phase count cycles 2/3/4 with the variant, the offset slice
+///    rotates with (variant + phase), so codes overlap heavily in their
+///    stride expressions without being byte-identical.
+inline std::string generateStencilSource(std::size_t family, std::size_t variant) {
+  const auto& fam = offsetFamilies()[family % offsetFamilies().size()];
+  const std::size_t phases = 2 + variant % 3;
+  std::string src = "param N\n";
+  for (std::size_t a = 0; a <= phases; ++a) {
+    src += "array A" + std::to_string(a) + "(N*N)\n";
+  }
+  if (variant % 4 == 0) src += "cyclic\n";
+  for (std::size_t k = 0; k < phases; ++k) {
+    const std::size_t width = 1 + (variant + k) % fam.size();
+    src += "phase S" + std::to_string(k) + " {\n";
+    src += "  doall i = 1, N - 2 {\n";
+    src += "    do j = 1, N - 2 {\n";
+    for (std::size_t o = 0; o <= width; ++o) {
+      const std::string& off = fam[(variant + k + o) % fam.size()];
+      src += "      read A" + std::to_string(k) + "(" + off + ")\n";
+    }
+    src += "      write A" + std::to_string(k + 1) + "(N*i + j)\n";
+    src += "    }\n  }\n";
+    if (k % 2 == 0) src += "  work 2.0\n";
+    src += "}\n";
+  }
+  return src;
+}
+
+/// Display label of generated code (family, variant), e.g. "gen.f2v07".
+inline std::string generatedLabel(std::size_t family, std::size_t variant) {
+  std::string label = "gen.f" + std::to_string(family) + "v";
+  if (variant < 10) label += '0';
+  label += std::to_string(variant);
+  return label;
+}
+
+/// Variants of the pow2 butterfly family (generatePow2Source).
+inline constexpr std::size_t kPow2Variants = 6;
+
+/// Mini-Fortran source of a pow2 "butterfly" code, TFFT2's cost class: a
+/// ping-pong chain of phases over arrays A/B/C whose subscripts carry
+/// 2^(l-1) terms, so every phase is expensive for the prover (pow2 offset
+/// reasoning) rather than stencil-cheap. All variants compose their phases
+/// from the same pool of six kernels — two butterfly templates crossed with
+/// the three (src, dst) array pairs — and differ in chain length, kernel
+/// rotation, and per-phase work weight. That is the redundancy profile of a
+/// real FFT library (few distinct stages, many arrangements): the serial
+/// engine re-derives each stage per code and per processor count, while the
+/// memoized engine analyzes each pool kernel once.
+inline std::string generatePow2Source(std::size_t variant) {
+  static const char* const names[3] = {"A", "B", "C"};
+  const std::size_t phases = 3 + variant % 2;
+  std::string src = "pow2param N = 2^n\n";
+  for (const char* a : names) src += std::string("array ") + a + "(2*N + 1)\n";
+  for (std::size_t t = 0; t < phases; ++t) {
+    const std::string in = names[t % 3];
+    const std::string out = names[(t + 1) % 3];
+    const std::size_t tpl = (variant + t) % 2;
+    src += "phase S" + std::to_string(t) + " {\n";
+    src += "  doall i = 0, 3 {\n";
+    src += "    do l = 1, n {\n";
+    src += "      do j = 0, N - 1 {\n";
+    if (tpl == 0) {
+      // Butterfly gather: paired reads 2^(l-1) apart, unit-stride write.
+      src += "        read " + in + "(j + 2^(l-1) + i)\n";
+      src += "        read " + in + "(j + i)\n";
+      src += "        write " + out + "(j + i)\n";
+    } else {
+      // Butterfly scatter: unit-stride read, write shifted by 2^(l-1).
+      src += "        read " + in + "(j + i)\n";
+      src += "        write " + out + "(j + 2^(l-1) + i)\n";
+    }
+    src += "      }\n    }\n  }\n";
+    src += "  work " + std::to_string(1 + variant % 5) + ".0\n";
+    src += "}\n";
+  }
+  return src;
+}
+
+/// Display label of pow2 butterfly code `variant`, e.g. "gen.pow2v3".
+inline std::string pow2Label(std::size_t variant) {
+  return "gen.pow2v" + std::to_string(variant);
+}
+
+}  // namespace ad::bench

@@ -3,7 +3,7 @@
 //   run: ./build/examples/tfft2_pipeline [P] [Q] [H] [--simulate]
 //            [--validate=trace|symbolic|both] [--suite] [--jobs N]
 //            [--fault SPEC] [--budget-steps N] [--budget-ms N]
-//            [--trace-out=FILE] [--metrics-out=FILE]
+//            [--trace-out=FILE] [--metrics-out=FILE] [--profile-out=FILE]
 //
 // Prints the LCG of Figure 6, the Table-2 integer program, the chosen
 // BLOCK-CYCLIC distributions, the put schedules for the two C edges, the
@@ -41,6 +41,7 @@
 #include "driver/pipeline.hpp"
 #include "driver/serialize.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "support/fault.hpp"
 #include "support/status.hpp"
 #include "support/thread_pool.hpp"
@@ -205,38 +206,64 @@ int runSuite(const driver::CliOptions& opts) {
   return 0;
 }
 
+/// Writes every requested observability artifact (trace, metrics, profile).
+/// Called on EVERY exit path that knows the file names — including usage
+/// errors, degraded runs, and escaped exceptions: a failed run is exactly the
+/// one whose trace and contention profile you want on disk. Each artifact is
+/// attempted even when an earlier one failed to write. Returns the final
+/// process exit code (write failure takes precedence over `rc`, matching the
+/// documented code ordering).
+int flushArtifactsAndExit(const driver::CliOptions& opts, int rc) {
+  bool writeFailed = false;
+  if (!opts.traceOut.empty() && !writeFileOrComplain(opts.traceOut, obs::tracer().toJson())) {
+    writeFailed = true;
+  }
+  if (!opts.metricsOut.empty() &&
+      !writeFileOrComplain(opts.metricsOut, obs::metrics().toJson())) {
+    writeFailed = true;
+  }
+  if (!opts.profileOut.empty() &&
+      !writeFileOrComplain(opts.profileOut, obs::profiler().summary())) {
+    writeFailed = true;
+  }
+  return writeFailed ? kExitWriteFailed : rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto parsed = driver::parseCli(argc, argv);
   if (!parsed.has_value()) {
+    // No artifact flush possible here: the failed parse is what would have
+    // told us the artifact file names.
     std::cerr << "error: " << parsed.status().str() << "\n" << driver::cliUsage(argv[0]);
     return kExitUsage;
   }
   const driver::CliOptions opts = *parsed;
 
+  if (!opts.traceOut.empty()) obs::tracer().enable();
+  if (!opts.profileOut.empty()) obs::profiler().enable();
+
   if (const Status st = support::FaultInjector::global().configureFromEnv(); !st.isOk()) {
     std::cerr << "error: AD_FAULT_SPEC: " << st.str() << "\n" << driver::cliUsage(argv[0]);
-    return kExitUsage;
+    return flushArtifactsAndExit(opts, kExitUsage);
   }
   if (!opts.faultSpec.empty()) {
     if (const Status st = support::FaultInjector::global().configure(opts.faultSpec);
         !st.isOk()) {
       std::cerr << "error: " << st.str() << "\n" << driver::cliUsage(argv[0]);
-      return kExitUsage;
+      return flushArtifactsAndExit(opts, kExitUsage);
     }
   }
 
-  if (!opts.traceOut.empty()) obs::tracer().enable();
-
-  const int rc = opts.suite ? runSuite(opts) : runSingle(opts);
-
-  if (!opts.traceOut.empty() && !writeFileOrComplain(opts.traceOut, obs::tracer().toJson())) {
-    return kExitWriteFailed;
+  int rc = 0;
+  try {
+    rc = opts.suite ? runSuite(opts) : runSingle(opts);
+  } catch (...) {
+    // The runners catch at every pipeline boundary; anything escaping to here
+    // is unexpected — but the artifacts must still reach disk.
+    std::cerr << "error: unhandled failure: " << statusFromCurrentException().str() << "\n";
+    rc = kExitAnalysisFailed;
   }
-  if (!opts.metricsOut.empty() &&
-      !writeFileOrComplain(opts.metricsOut, obs::metrics().toJson())) {
-    return kExitWriteFailed;
-  }
-  return rc;
+  return flushArtifactsAndExit(opts, rc);
 }

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff fresh bench artifacts against checked-in baselines.
+
+Usage:
+    scripts/bench_compare.py <baseline_dir> <fresh_dir> [--tolerance-pct N]
+
+Compares the bench JSON artifacts the perf CI stage produces
+(BENCH_analysis.json, BENCH_contention.json, BENCH_symval.json) against the
+baselines under bench/baselines/. Exits nonzero, listing every violated
+metric, when the fresh run regressed.
+
+Only machine-portable metrics are gated. Raw wall-clock milliseconds are
+deliberately never compared across runs — CI machines differ in clock speed
+and load, so "serial_ms grew 30%" says nothing. What does transfer:
+
+  * ratios measured within one process run (the batched engine's speedup
+    over the serial engine, the profiler's on/off overhead percentage) —
+    both legs see the same machine, so the quotient is stable;
+  * exact structural counts (workload size, memoized region counts,
+    differential agreement verdicts), which must not drift at all.
+
+The default --tolerance-pct 40 absorbs scheduler noise in the ratio metrics
+(the serial and batched legs run seconds apart, and shared-runner throughput
+drifts on that scale — observed swing is ~35%); a halved speedup, the kind of
+regression the gate exists for, still trips it. Structural metrics get no
+tolerance.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+class Gate:
+    """Collects per-metric verdicts; fails the process if any regressed."""
+
+    def __init__(self):
+        self.failures = []
+
+    def check(self, ok, label, detail):
+        line = f"{label}: {detail}"
+        if ok:
+            print(f"  ok          {line}")
+        else:
+            print(f"  REGRESSION  {line}")
+            self.failures.append(line)
+
+    def exact(self, label, baseline, fresh):
+        self.check(baseline == fresh, label, f"baseline {baseline!r}, fresh {fresh!r}")
+
+    def ratio_floor(self, label, baseline, fresh, tolerance_pct):
+        """Fresh ratio may trail baseline by at most tolerance_pct percent."""
+        floor = baseline * (1.0 - tolerance_pct / 100.0)
+        self.check(
+            fresh >= floor, label,
+            f"baseline {baseline:.3f}, fresh {fresh:.3f}, floor {floor:.3f} "
+            f"(-{tolerance_pct}%)")
+
+    def abs_ceiling(self, label, fresh, ceiling, context):
+        self.check(fresh <= ceiling, label,
+                   f"fresh {fresh:.3f} must stay <= {ceiling:.3f} ({context})")
+
+
+def compare_analysis(gate, baseline, fresh, tolerance_pct):
+    gate.exact("analysis.schema", baseline["schema"], fresh["schema"])
+    gate.exact("analysis.workload.configs", baseline["workload"]["configs"],
+               fresh["workload"]["configs"])
+    gate.exact("analysis.workload.codes", baseline["workload"]["codes"],
+               fresh["workload"]["codes"])
+    base_runs = {r["jobs"]: r for r in baseline["runs"]}
+    fresh_runs = {r["jobs"]: r for r in fresh["runs"]}
+    gate.exact("analysis.runs.jobs", sorted(base_runs), sorted(fresh_runs))
+    for jobs in sorted(set(base_runs) & set(fresh_runs)):
+        gate.ratio_floor(f"analysis.speedup[jobs={jobs}]",
+                         base_runs[jobs]["speedup"], fresh_runs[jobs]["speedup"],
+                         tolerance_pct)
+    # Hit rate is a cache property of a deterministic workload, not a timing:
+    # a small absolute allowance covers task-order nondeterminism only.
+    gate.check(fresh["tfft2"]["hit_rate"] >= baseline["tfft2"]["hit_rate"] - 0.05,
+               "analysis.tfft2.hit_rate",
+               f"baseline {baseline['tfft2']['hit_rate']:.3f}, "
+               f"fresh {fresh['tfft2']['hit_rate']:.3f} (allowance 0.05)")
+
+
+def compare_contention(gate, baseline, fresh, tolerance_pct):
+    del tolerance_pct  # the profiler gate is absolute, not relative
+    gate.exact("contention.schema", baseline["schema"], fresh["schema"])
+    # The bench's own acceptance bound is <5%; the baseline diff only refuses
+    # a fresh run that is both over the bound and worse than the baseline by
+    # more than measurement jitter (2 percentage points).
+    ceiling = max(baseline["overhead_pct"] + 2.0, 5.0)
+    gate.abs_ceiling("contention.overhead_pct", fresh["overhead_pct"], ceiling,
+                     f"baseline {baseline['overhead_pct']:.3f}% + 2pt jitter, min 5%")
+
+
+def compare_symval(gate, baseline, fresh, tolerance_pct):
+    del tolerance_pct  # everything here is structural
+    base_codes = {c["name"]: c for c in baseline["codes"]}
+    fresh_codes = {c["name"]: c for c in fresh["codes"]}
+    gate.exact("symval.codes", sorted(base_codes), sorted(fresh_codes))
+    for name in sorted(set(base_codes) & set(fresh_codes)):
+        base_runs = {r["processors"]: r for r in base_codes[name]["runs"]}
+        fresh_runs = {r["processors"]: r for r in fresh_codes[name]["runs"]}
+        for procs in sorted(set(base_runs) & set(fresh_runs)):
+            b, f = base_runs[procs], fresh_runs[procs]
+            prefix = f"symval.{name}[P={procs}]"
+            gate.exact(f"{prefix}.differential", b["differential"], f["differential"])
+            gate.exact(f"{prefix}.closed_form_regions", b["closed_form_regions"],
+                       f["closed_form_regions"])
+            gate.exact(f"{prefix}.accesses", b["accesses"], f["accesses"])
+            gate.check(abs(b["local_fraction"] - f["local_fraction"]) < 1e-9,
+                       f"{prefix}.local_fraction",
+                       f"baseline {b['local_fraction']}, fresh {f['local_fraction']}")
+
+
+COMPARATORS = {
+    "BENCH_analysis.json": compare_analysis,
+    "BENCH_contention.json": compare_contention,
+    "BENCH_symval.json": compare_symval,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline_dir")
+    parser.add_argument("fresh_dir")
+    parser.add_argument("--tolerance-pct", type=float, default=40.0,
+                        help="allowed relative drop in ratio metrics (default 40)")
+    args = parser.parse_args()
+
+    gate = Gate()
+    compared = 0
+    for filename, comparator in sorted(COMPARATORS.items()):
+        base_path = os.path.join(args.baseline_dir, filename)
+        fresh_path = os.path.join(args.fresh_dir, filename)
+        if not os.path.exists(base_path):
+            print(f"  (no baseline for {filename}; skipped)")
+            continue
+        if not os.path.exists(fresh_path):
+            gate.check(False, filename, f"baseline exists but fresh run produced no {fresh_path}")
+            continue
+        print(f"{filename}:")
+        with open(base_path) as handle:
+            baseline = json.load(handle)
+        with open(fresh_path) as handle:
+            fresh = json.load(handle)
+        comparator(gate, baseline, fresh, args.tolerance_pct)
+        compared += 1
+
+    if compared == 0 and not gate.failures:
+        print("bench_compare: no baselines found — nothing compared", file=sys.stderr)
+        return 2
+    if gate.failures:
+        print(f"\nbench_compare: {len(gate.failures)} regression(s):", file=sys.stderr)
+        for line in gate.failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: {compared} artifact(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 #   scripts/ci.sh fault      # fault-injection/budget matrix: degraded but sound
 #   scripts/ci.sh symval     # symbolic-vs-trace differential + BENCH_symval.json
 #   scripts/ci.sh bench      # reproduction benches only
+#   scripts/ci.sh perf       # perf-regression gate vs bench/baselines + self-test
 #   scripts/ci.sh coverage   # gcov line coverage of src/symbolic + src/descriptors
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,11 +38,12 @@ tsan() {
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "$jobs" --target \
-    sim_test obs_test thread_pool_test determinism_test
+    sim_test obs_test thread_pool_test determinism_test profiler_test
   ./build-tsan/tests/sim_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/thread_pool_test
   ./build-tsan/tests/determinism_test
+  ./build-tsan/tests/profiler_test
 }
 
 asan() {
@@ -214,7 +216,8 @@ obs() {
   cmake -B build -S .
   cmake --build build -j "$jobs" --target tfft2_pipeline
   ./build/examples/tfft2_pipeline 8 8 4 --simulate \
-    --trace-out=trace.json --metrics-out=metrics.json >/dev/null
+    --trace-out=trace.json --metrics-out=metrics.json \
+    --profile-out=profile.json >/dev/null
   python3 - <<'EOF'
 import json, sys
 
@@ -246,10 +249,87 @@ missing = need_counters - set(metrics["counters"])
 assert not missing, f"metrics.json missing counters: {sorted(missing)}"
 assert "ad.ilp.variables" in metrics["gauges"], "missing ILP gauges"
 assert "ad.sim.local_per_proc_phase" in metrics["histograms"], "missing sim histograms"
+
+profile = json.load(open("profile.json"))
+assert profile["schema"] == "ad.profile.v1", profile.get("schema")
+thread_names = {row["name"] for row in profile["threads"]}
+assert "main" in thread_names, f"no main thread row: {sorted(thread_names)}"
+assert any(n.startswith("sim.p") for n in thread_names), \
+    f"no simulator worker rows: {sorted(thread_names)}"
 print(f"obs smoke ok: {len(events)} trace events, "
       f"{len(metrics['counters'])} counters, "
-      f"{len(metrics['gauges'])} gauges, {len(metrics['histograms'])} histograms")
+      f"{len(metrics['gauges'])} gauges, {len(metrics['histograms'])} histograms, "
+      f"{len(profile['threads'])} profile thread rows")
 EOF
+}
+
+perf() {
+  # Perf-regression gate: rerun the perf-sensitive benches and diff their
+  # artifacts against the checked-in baselines (bench/baselines/). Only
+  # machine-portable metrics are compared — within-run ratios (speedup,
+  # profiler overhead) and exact structural counts — never raw wall-clock
+  # (see scripts/bench_compare.py). The stage also self-tests: a doctored
+  # artifact with a synthetic regression must make the comparator fail.
+  echo "=== perf: regression gate vs bench/baselines ==="
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target \
+    analysis_scaling contention_profile symbolic_validation
+  ./build/bench/analysis_scaling
+  ./build/bench/contention_profile
+  ./build/bench/symbolic_validation
+
+  # Structural schema check of the contention artifact before it is compared
+  # or uploaded: the ad.bench.contention.v1 shape plus the embedded
+  # ad.profile.v1 summary with per-thread rows and shard families.
+  python3 - <<'EOF'
+import json
+
+doc = json.load(open("BENCH_contention.json"))
+assert doc["schema"] == "ad.bench.contention.v1", doc.get("schema")
+for key in ("reps", "off_ms", "on_ms", "overhead_pct", "profile"):
+    assert key in doc, f"missing {key}"
+assert doc["reps"] >= 3 and doc["off_ms"] > 0 and doc["on_ms"] > 0
+profile = doc["profile"]
+assert profile["schema"] == "ad.profile.v1", profile.get("schema")
+assert profile["threads"], "profile has no per-thread rows"
+for row in profile["threads"]:
+    for key in ("name", "tasks", "work_us", "queue_wait_us", "lock_wait_us",
+                "idle_us", "barrier_wait_us", "steals", "helped"):
+        assert key in row, f"thread row missing {key}: {row}"
+for family in ("intern.expr", "memo.context", "memo.registry", "loc.phase_array"):
+    assert family in profile["shards"], f"missing shard family {family}"
+    assert family in profile["lock_wait_us"], f"missing lock-wait histogram {family}"
+print(f"contention schema ok: {len(profile['threads'])} thread rows, "
+      f"overhead {doc['overhead_pct']:.2f}%")
+EOF
+
+  python3 scripts/bench_compare.py bench/baselines .
+
+  # Self-test: inject a synthetic regression (halved jobs=8 speedup, tripled
+  # profiler overhead) into copies of the fresh artifacts; the comparator
+  # must reject them, otherwise the gate is decorative.
+  local doctored
+  doctored="$(mktemp -d)"
+  cp BENCH_analysis.json BENCH_contention.json BENCH_symval.json "$doctored"/
+  python3 - "$doctored" <<'EOF'
+import json, sys
+
+root = sys.argv[1]
+doc = json.load(open(f"{root}/BENCH_analysis.json"))
+for run in doc["runs"]:
+    run["speedup"] *= 0.5
+json.dump(doc, open(f"{root}/BENCH_analysis.json", "w"))
+doc = json.load(open(f"{root}/BENCH_contention.json"))
+doc["overhead_pct"] = max(3 * doc["overhead_pct"], 12.0)
+json.dump(doc, open(f"{root}/BENCH_contention.json", "w"))
+EOF
+  if python3 scripts/bench_compare.py bench/baselines "$doctored" >/dev/null 2>&1; then
+    echo "FAIL: bench_compare accepted a synthetic 2x speedup regression" >&2
+    rm -rf "$doctored"
+    exit 1
+  fi
+  rm -rf "$doctored"
+  echo "ok (self-test): synthetic regression rejected"
 }
 
 bench() {
@@ -270,8 +350,9 @@ case "$stage" in
   fault) fault ;;
   symval) symval ;;
   bench) bench ;;
+  perf) perf ;;
   coverage) coverage ;;
-  all) tier1; tsan; asan; obs; fault; symval; bench; coverage ;;
-  *) echo "unknown stage: $stage (tier1|tsan|asan|obs|fault|symval|bench|coverage|all)" >&2; exit 2 ;;
+  all) tier1; tsan; asan; obs; fault; symval; bench; perf; coverage ;;
+  *) echo "unknown stage: $stage (tier1|tsan|asan|obs|fault|symval|bench|perf|coverage|all)" >&2; exit 2 ;;
 esac
 echo "CI gate passed."

@@ -32,7 +32,7 @@ std::string cliUsage(std::string_view argv0) {
   out +=
       " [P] [Q] [H] [--simulate] [--validate=MODE] [--suite] [--jobs N]\n"
       "       [--fault SPEC] [--budget-steps N] [--budget-ms N]\n"
-      "       [--trace-out=FILE] [--metrics-out=FILE]\n"
+      "       [--trace-out=FILE] [--metrics-out=FILE] [--profile-out=FILE]\n"
       "\n"
       "  P Q H           TFFT2 problem sizes and processor count (default 64 64 8);\n"
       "                  incompatible with --suite, which fixes its own sizes\n"
@@ -47,6 +47,9 @@ std::string cliUsage(std::string_view argv0) {
       "                  tag%P:SEED, comma-separated (see docs/ROBUSTNESS.md)\n"
       "  --budget-steps N  prover step budget (0 = unlimited)\n"
       "  --budget-ms N     analysis wall-clock deadline (0 = none)\n"
+      "  --profile-out=FILE  write the ad.profile.v1 contention summary\n"
+      "                  (per-thread wait/work tracks, per-shard lock stats);\n"
+      "                  also enables the profiler for the run\n"
       "\n"
       "exit codes: 0 ok, 1 locality validation failed, 2 usage error,\n"
       "            3 artifact write failed, 4 analysis failed, 5 degraded but sound\n";
@@ -106,6 +109,9 @@ Expected<CliOptions> parseCli(int argc, const char* const* argv) {
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       opts.metricsOut = arg.substr(sizeof("--metrics-out=") - 1);
       if (opts.metricsOut.empty()) return invalid("--metrics-out= needs a file name");
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      opts.profileOut = arg.substr(sizeof("--profile-out=") - 1);
+      if (opts.profileOut.empty()) return invalid("--profile-out= needs a file name");
     } else if (arg.rfind("--", 0) == 0) {
       return invalid("unrecognized flag '" + std::string(arg) + "'");
     } else {

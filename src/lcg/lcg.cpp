@@ -128,13 +128,46 @@ LCG buildLCGImpl(const ir::Program& program, const std::map<sym::SymbolId, std::
     const auto& arr = arrays[slot];
     ArrayGraph g;
     g.array = arr.name;
+    // The expensive unit of work is one analyzePhaseArray call, and a code
+    // has many more (phase, array) pairs than arrays. With a pool, fan each
+    // pair out as its own subtask (profiler data showed array-level tasks
+    // leave workers idle behind the widest array). Subtasks carry no
+    // ErrorContext of their own: the first exception is rethrown *here*, on
+    // the array task's thread, so it unwinds through this frame's
+    // "array" context and keeps the code -> stage -> array chain intact.
+    std::vector<std::size_t> phaseIdx;
     for (std::size_t k = 0; k < program.phases().size(); ++k) {
       if (!program.phase(k).accesses(arr.name) && !program.phase(k).isPrivatized(arr.name)) {
         continue;
       }
+      phaseIdx.push_back(k);
+    }
+    std::vector<loc::PhaseArrayInfo> infos(phaseIdx.size());
+    if (pool != nullptr && phaseIdx.size() > 1) {
+      std::vector<std::exception_ptr> nodeErrors(phaseIdx.size());
+      support::TaskGroup nodes(*pool);
+      for (std::size_t i = 0; i < phaseIdx.size(); ++i) {
+        nodes.run([&, i] {
+          try {
+            infos[i] = loc::analyzePhaseArray(program, phaseIdx[i], arr.name);
+          } catch (...) {
+            nodeErrors[i] = std::current_exception();
+          }
+        });
+      }
+      nodes.wait();  // rethrows only wrapper-level injected faults (pool.task)
+      for (auto& err : nodeErrors) {
+        if (err != nullptr) std::rethrow_exception(err);
+      }
+    } else {
+      for (std::size_t i = 0; i < phaseIdx.size(); ++i) {
+        infos[i] = loc::analyzePhaseArray(program, phaseIdx[i], arr.name);
+      }
+    }
+    for (std::size_t i = 0; i < phaseIdx.size(); ++i) {
       Node node;
-      node.phase = k;
-      node.info = loc::analyzePhaseArray(program, k, arr.name);
+      node.phase = phaseIdx[i];
+      node.info = std::move(infos[i]);
       node.attr = node.info.attr;
       g.nodes.push_back(std::move(node));
     }

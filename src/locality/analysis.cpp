@@ -1,10 +1,15 @@
 #include "locality/analysis.hpp"
 
+#include <map>
+#include <mutex>
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
+#include "support/budget.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
+#include "symbolic/intern.hpp"
 
 namespace ad::loc {
 
@@ -107,13 +112,127 @@ std::vector<StorageConstraint> computeStorage(const desc::IterationDescriptor& i
   return out;
 }
 
+/// Process-wide memo of analyzePhaseArray results. The whole function is a
+/// pure symbolic computation — no processor count, no parameter values — so
+/// its result is a function of the serialized inputs below. The batched
+/// engine re-asks the same (phase, array) question constantly: the same code
+/// analyzed at several processor counts, and structurally identical loop
+/// nests recurring across the codes of a batch (the contention profiler
+/// showed lcg.build dominated by these repeats). Shard index feeds profiler
+/// family "loc.phase_array"; traffic is exported as ad.loc.phase_hits /
+/// ad.loc.phase_misses.
+class PhaseArrayMemo {
+ public:
+  static PhaseArrayMemo& global() {
+    static PhaseArrayMemo instance;
+    return instance;
+  }
+
+  std::optional<PhaseArrayInfo> lookup(const std::string& key) {
+    const std::size_t idx = shardIndexFor(key);
+    Shard& shard = shards_[idx];
+    obs::ShardLock lock(shard.mu, obs::ShardFamily::kPhaseInfo, idx);
+    const auto it = shard.infos.find(key);
+    const bool hit = it != shard.infos.end();
+    noteProbe(idx, hit);
+    if (!hit) return std::nullopt;
+    return it->second;
+  }
+
+  void store(const std::string& key, const PhaseArrayInfo& info) {
+    const std::size_t idx = shardIndexFor(key);
+    Shard& shard = shards_[idx];
+    obs::ShardLock lock(shard.mu, obs::ShardFamily::kPhaseInfo, idx);
+    shard.infos.emplace(key, info);
+  }
+
+  void clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.infos.clear();
+    }
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::map<std::string, PhaseArrayInfo> infos;
+  };
+  [[nodiscard]] static std::size_t shardIndexFor(const std::string& key) {
+    return std::hash<std::string>{}(key) % kShards;
+  }
+  static void noteProbe(std::size_t idx, bool hit) {
+    static obs::Counter& hits = obs::metrics().counter("ad.loc.phase_hits");
+    static obs::Counter& misses = obs::metrics().counter("ad.loc.phase_misses");
+    (hit ? hits : misses).add(1);
+    obs::Profiler& p = obs::profiler();
+    if (!p.enabled()) return;
+    obs::ShardStats& stats = p.shard(obs::ShardFamily::kPhaseInfo, idx);
+    (hit ? stats.hits : stats.misses).fetch_add(1, std::memory_order_relaxed);
+  }
+  Shard shards_[kShards];
+};
+
+/// Everything analyzePhaseArray reads, serialized: the assumptions context
+/// (symbol kinds, bounds, facts), the loop nest (order, indices, bounds,
+/// DOALL marking), the references to this array (kind + subscript, textual
+/// order), the privatized flag, and the array name (which the result embeds
+/// verbatim). The phase *index* is deliberately absent: the analysis never
+/// reads it, so structurally identical phases hit the same entry wherever
+/// they sit — in one code or across codes — and the hit path re-stamps the
+/// index into the returned descriptors.
+std::string phaseArrayKey(const ir::Program& program, std::size_t phaseIdx,
+                          const std::string& array, const sym::Assumptions& assumptions) {
+  const ir::Phase& phase = program.phase(phaseIdx);
+  std::string key = sym::serializeAssumptions(assumptions);
+  key += '#';
+  key += array;
+  key += phase.isPrivatized(array) ? "#P" : "#-";
+  for (const auto& loop : phase.loops()) {
+    key += 'l';
+    key += std::to_string(loop.index);
+    key += loop.parallel ? '*' : '.';
+    sym::serializeExpr(loop.lower, key);
+    sym::serializeExpr(loop.upper, key);
+  }
+  for (const auto& ref : phase.refsTo(array)) {
+    key += ref.kind == ir::AccessKind::kRead ? 'r' : 'w';
+    sym::serializeExpr(ref.subscript, key);
+  }
+  return key;
+}
+
 }  // namespace
+
+void clearPhaseArrayMemo() { PhaseArrayMemo::global().clear(); }
 
 PhaseArrayInfo analyzePhaseArray(const ir::Program& program, std::size_t phaseIdx,
                                  const std::string& array) {
   obs::Span span("locality.analyze_phase_array", "analysis");
   const ir::Phase& phase = program.phase(phaseIdx);
   const sym::Assumptions assumptions = phase.assumptions(program.symbols());
+  // Memoized path (same toggle as the proof memo, so the serial-baseline
+  // legs and memo-sensitive tests stay honest). Cached values were computed
+  // with an unexhausted budget, so serving them under any budget is sound.
+  const bool memoized = sym::ProofMemo::enabled();
+  std::string key;
+  if (memoized) {
+    key = phaseArrayKey(program, phaseIdx, array, assumptions);
+    if (auto cached = PhaseArrayMemo::global().lookup(key)) {
+      PhaseArrayInfo info = *std::move(cached);
+      if (info.phase != phaseIdx) {
+        // The entry was computed for a structurally identical phase at a
+        // different position; only the embedded index needs re-stamping.
+        info.phase = phaseIdx;
+        info.pd = desc::PhaseDescriptor(info.pd.array(), phaseIdx,
+                                        std::vector<desc::PDTerm>(info.pd.terms()));
+        info.id = desc::IterationDescriptor(info.id.array(), phaseIdx,
+                                            std::vector<desc::IDTerm>(info.id.terms()));
+      }
+      return info;
+    }
+  }
   const sym::RangeAnalyzer ra(assumptions);
 
   auto pd = desc::buildPhaseDescriptor(program, phaseIdx, array);
@@ -139,6 +258,11 @@ PhaseArrayInfo analyzePhaseArray(const ir::Program& program, std::size_t phaseId
     info.parallelTrip = par.upper - par.lower + Expr::constant(1);
   } else {
     info.parallelTrip = Expr::constant(1);
+  }
+  // Never cache a result shaped by an exhausted budget: later unlimited runs
+  // must not inherit its conservative simplifications.
+  if (memoized && !support::budgetCompromised()) {
+    PhaseArrayMemo::global().store(key, info);
   }
   return info;
 }

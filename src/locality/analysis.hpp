@@ -70,9 +70,17 @@ struct PhaseArrayInfo {
 };
 
 /// Runs descriptor construction + simplification + locality quantities for
-/// one (phase, array) pair.
+/// one (phase, array) pair. The computation is purely symbolic (no processor
+/// count or parameter values), so results are memoized process-wide by a
+/// serialization of every input (gated on sym::ProofMemo::enabled(), shared
+/// with the proof memo; the profiler attributes the cache's lock/hit traffic
+/// under family "loc.phase_array").
 [[nodiscard]] PhaseArrayInfo analyzePhaseArray(const ir::Program& program, std::size_t phaseIdx,
                                                const std::string& array);
+
+/// Drops every memoized analyzePhaseArray result (bench legs use this next
+/// to ProofMemo::clear() so cold-start timings are genuinely cold).
+void clearPhaseArrayMemo();
 
 /// The balanced locality condition between phases F_k and F_g for one array:
 ///     slopeK * p_k + offsetK == slopeG * p_g + offsetG        (Eq. 1)

@@ -14,6 +14,7 @@
 
 #include "ir/walker.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "sim/owner_map.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
@@ -237,6 +238,12 @@ TraceResult simulateTrace(const ir::Program& program, const ir::Bindings& params
 
   const auto worker = [&](std::int64_t t) {
     obs::Tracer::setCurrentThreadId(t + 1);
+    // Join the contention profiler's per-thread timeline under the same name
+    // as the Perfetto track, so sim barrier stalls line up with pool/lock
+    // waits in the ad.profile.v1 summary.
+    const bool profiled = obs::profiler().enabled();
+    if (profiled) obs::profiler().bindCurrentThread("sim.p" + std::to_string(t));
+    const std::int64_t workerStartUs = obs::Profiler::nowUs();
     Shard& shard = shards[static_cast<std::size_t>(t)];
     std::int64_t waitedUs = 0;
     const auto awaitBarrier = [&] {
@@ -302,6 +309,12 @@ TraceResult simulateTrace(const ir::Program& program, const ir::Bindings& params
       awaitBarrier();
     }
     barrierWaitUs.add(waitedUs);
+    if (profiled) {
+      obs::ThreadStats& stats = obs::profiler().threadStats("");
+      stats.barrierWaitUs.fetch_add(waitedUs, std::memory_order_relaxed);
+      stats.workUs.fetch_add(obs::Profiler::nowUs() - workerStartUs - waitedUs,
+                             std::memory_order_relaxed);
+    }
   };
 
   const auto start = std::chrono::steady_clock::now();

@@ -1,10 +1,11 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <string>
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "support/budget.hpp"
 #include "support/fault.hpp"
 
@@ -31,9 +32,14 @@ ThreadPool::ThreadPool(std::size_t threads) {
   count_ = n;
   queues_.reserve(n + 1);
   for (std::size_t i = 0; i < n + 1; ++i) queues_.push_back(std::make_unique<Queue>());
-  obs::metrics().counter("ad.pool.tasks");
-  obs::metrics().counter("ad.pool.steals");
+  tasksCounter_ = &obs::metrics().counter("ad.pool.tasks");
+  stealsCounter_ = &obs::metrics().counter("ad.pool.steals");
+  idleCounter_ = &obs::metrics().counter("ad.pool.idle_us");
   obs::metrics().gauge("ad.pool.threads").set(static_cast<std::int64_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    obs::tracer().nameThread(kTraceTidBase + static_cast<std::int64_t>(i),
+                             "pool.w" + std::to_string(i));
+  }
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this, i] { workerLoop(i); });
@@ -42,7 +48,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   stop_.store(true, std::memory_order_release);
-  idleCv_.notify_all();
+  notifyWaiters();
   for (auto& w : workers_) w.join();
 }
 
@@ -57,25 +63,31 @@ void ThreadPool::submit(std::function<void()> task) {
       inner();
     };
   }
+  Item item{std::move(task),
+            obs::profiler().enabled() ? obs::Profiler::nowUs() : 0};
   const std::size_t slot =
       (tlPool == this) ? tlWorker : count_;  // own deque or injection queue
   {
     std::lock_guard<std::mutex> lock(queues_[slot]->mu);
-    queues_[slot]->tasks.push_back(std::move(task));
+    queues_[slot]->tasks.push_back(std::move(item));
   }
   pending_.fetch_add(1, std::memory_order_release);
+  // The empty critical section orders this notification after any waiter's
+  // predicate check: a thread between "saw pending_ == 0" and "parked" holds
+  // idleMu_, so we cannot signal into that window and lose the wakeup.
+  { std::lock_guard<std::mutex> lock(idleMu_); }
   idleCv_.notify_one();
 }
 
-std::function<void()> ThreadPool::take(std::size_t index) {
+ThreadPool::Taken ThreadPool::take(std::size_t index) {
   // Own deque, newest first: nested fan-out keeps its working set hot.
   if (index < count_) {
     Queue& own = *queues_[index];
     std::lock_guard<std::mutex> lock(own.mu);
     if (!own.tasks.empty()) {
-      auto task = std::move(own.tasks.back());
+      Taken t{std::move(own.tasks.back()), TaskSource::kOwn};
       own.tasks.pop_back();
-      return task;
+      return t;
     }
   }
   // Injected work, oldest first.
@@ -83,9 +95,9 @@ std::function<void()> ThreadPool::take(std::size_t index) {
     Queue& inj = *queues_[count_];
     std::lock_guard<std::mutex> lock(inj.mu);
     if (!inj.tasks.empty()) {
-      auto task = std::move(inj.tasks.front());
+      Taken t{std::move(inj.tasks.front()), TaskSource::kInjected};
       inj.tasks.pop_front();
-      return task;
+      return t;
     }
   }
   // Steal from a victim, oldest first (the opposite end from the owner's
@@ -98,49 +110,100 @@ std::function<void()> ThreadPool::take(std::size_t index) {
     Queue& q = *queues_[victim];
     std::lock_guard<std::mutex> lock(q.mu);
     if (!q.tasks.empty()) {
-      auto task = std::move(q.tasks.front());
+      Taken t{std::move(q.tasks.front()), TaskSource::kStolen};
       q.tasks.pop_front();
-      obs::metrics().counter("ad.pool.steals").add(1);
-      return task;
+      stealsCounter_->add(1);
+      return t;
     }
   }
-  return nullptr;
+  return Taken{};
 }
 
-void ThreadPool::runTask(std::function<void()>& task) {
+void ThreadPool::runTask(Taken& taken, bool helped) {
   pending_.fetch_sub(1, std::memory_order_release);
   obs::Span span("pool.task", "pool");
-  obs::metrics().counter("ad.pool.tasks").add(1);
-  task();
+  tasksCounter_->add(1);
+  obs::Profiler& prof = obs::profiler();
+  if (!prof.enabled()) {
+    taken.item.task();
+    return;
+  }
+  // Queue latency = submit -> start; run time = the body. The executing
+  // thread's track is resolved once per task (thread-local cache inside).
+  obs::ThreadStats& stats = prof.threadStats("main");
+  const std::int64_t start = obs::Profiler::nowUs();
+  if (taken.item.enqueueUs > 0) {
+    stats.queueWaitUs.fetch_add(start - taken.item.enqueueUs, std::memory_order_relaxed);
+  }
+  taken.item.task();
+  stats.workUs.fetch_add(obs::Profiler::nowUs() - start, std::memory_order_relaxed);
+  stats.tasks.fetch_add(1, std::memory_order_relaxed);
+  if (taken.source == TaskSource::kStolen) stats.steals.fetch_add(1, std::memory_order_relaxed);
+  if (helped) stats.helped.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool ThreadPool::runOneTask() {
   const std::size_t index = (tlPool == this) ? tlWorker : count_;
-  auto task = take(index);
-  if (!task) return false;
-  runTask(task);
+  Taken taken = take(index);
+  if (!taken) return false;
+  runTask(taken, /*helped=*/tlPool != this);
   return true;
+}
+
+void ThreadPool::waitForWork(const std::function<bool()>& done) {
+  std::unique_lock<std::mutex> lock(idleMu_);
+  if (stop_.load(std::memory_order_acquire) || pending_.load(std::memory_order_acquire) > 0 ||
+      done()) {
+    return;
+  }
+  const std::int64_t t0 = obs::Profiler::nowUs();
+  idleCv_.wait(lock, [this, &done] {
+    return stop_.load(std::memory_order_acquire) ||
+           pending_.load(std::memory_order_acquire) > 0 || done();
+  });
+  const std::int64_t idled = obs::Profiler::nowUs() - t0;
+  idleCounter_->add(idled);
+  if (obs::profiler().enabled()) {
+    obs::profiler().threadStats("main").idleUs.fetch_add(idled, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::notifyWaiters() {
+  // Empty critical section: see submit() — serializes with a waiter that is
+  // between its predicate check and the park.
+  { std::lock_guard<std::mutex> lock(idleMu_); }
+  idleCv_.notify_all();
 }
 
 void ThreadPool::workerLoop(std::size_t index) {
   tlPool = this;
   tlWorker = index;
+  obs::Tracer::setCurrentThreadId(kTraceTidBase + static_cast<std::int64_t>(index));
+  obs::profiler().bindCurrentThread("pool.w" + std::to_string(index));
   while (true) {
-    if (auto task = take(index)) {
-      runTask(task);
+    if (Taken taken = take(index)) {
+      runTask(taken, /*helped=*/false);
       continue;
     }
     std::unique_lock<std::mutex> lock(idleMu_);
-    idleCv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
-      return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
     if (stop_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0) {
       break;
     }
+    if (pending_.load(std::memory_order_acquire) > 0) continue;  // re-scan, raced a submit
+    const std::int64_t t0 = obs::Profiler::nowUs();
+    idleCv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    const std::int64_t idled = obs::Profiler::nowUs() - t0;
+    idleCounter_->add(idled);
+    if (obs::profiler().enabled()) {
+      obs::profiler().threadStats("main").idleUs.fetch_add(idled, std::memory_order_relaxed);
+    }
   }
   tlPool = nullptr;
+  obs::Tracer::setCurrentThreadId(0);
 }
 
 TaskGroup::~TaskGroup() {
@@ -156,7 +219,11 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::run(std::function<void()> fn) {
   pending_.fetch_add(1, std::memory_order_release);
-  pool_->submit([this, fn = std::move(fn)] {
+  // `pool` is captured by value: the final decrement below releases wait(),
+  // after which the group (and this->pool_) may already be destroyed, so the
+  // lambda must not touch `this` past that point. The pool itself is required
+  // to outlive every group submitted to it.
+  pool_->submit([this, pool = pool_, fn = std::move(fn)] {
     try {
       if (AD_FAULT_POINT("pool.task")) {
         throw AnalysisError("injected fault: pool task abandoned (pool.task)");
@@ -167,8 +234,9 @@ void TaskGroup::run(std::function<void()> fn) {
       if (!error_) error_ = std::current_exception();
     }
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(mu_);
-      cv_.notify_all();
+      // Wake anyone parked in wait()'s waitForWork so the drained predicate
+      // gets re-evaluated. Workers that wake spuriously just re-park.
+      pool->notifyWaiters();
     }
   });
 }
@@ -177,10 +245,9 @@ void TaskGroup::wait() {
   while (pending_.load(std::memory_order_acquire) > 0) {
     if (pool_->runOneTask()) continue;
     // Nothing runnable here: our remaining tasks are executing on other
-    // workers. Sleep briefly; the finishing task notifies.
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, std::chrono::milliseconds(1),
-                 [this] { return pending_.load(std::memory_order_acquire) == 0; });
+    // workers. Park on the pool's idle signal; a new submission (more work
+    // to help with) or this group's completion wakes us.
+    pool_->waitForWork([this] { return pending_.load(std::memory_order_acquire) == 0; });
   }
   std::exception_ptr err;
   {

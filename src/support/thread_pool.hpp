@@ -11,8 +11,17 @@
 // (a per-code task waiting on its per-array subtasks) never deadlock the
 // pool, and a 1-thread pool still makes progress.
 //
+// Idle workers (and helping waiters) park on one condition variable and are
+// woken by submit()/group-completion signaling — there is no polling loop.
+// Accumulated park time is exported as ad.pool.idle_us.
+//
 // Observability: every executed task runs under an obs::Span ("pool.task")
 // and bumps ad.pool.tasks / ad.pool.steals in the ad.metrics.v1 registry.
+// When the contention profiler (obs/profiler.hpp) is enabled, each task
+// additionally records its queue latency (submit -> start), run time,
+// executing worker, and provenance (own deque / injected / stolen / helped)
+// into the per-thread ad.profile.v1 tracks, and workers carry named trace
+// tids so their activity lands on separate Perfetto tracks.
 #pragma once
 
 #include <atomic>
@@ -25,10 +34,18 @@
 #include <thread>
 #include <vector>
 
+namespace ad::obs {
+class Counter;
+}  // namespace ad::obs
+
 namespace ad::support {
 
 class ThreadPool {
  public:
+  /// Trace tids of pool workers start here ("pool.w0" = 100, ...), leaving
+  /// the low tids for the main thread (0) and the simulator's processors.
+  static constexpr std::int64_t kTraceTidBase = 100;
+
   /// Spawns workers. The count is clamped to [1, hardwareConcurrency()]:
   /// analysis tasks are CPU-bound, so workers beyond the core count only add
   /// cache thrash and lock convoying without adding parallelism. Callers may
@@ -52,18 +69,39 @@ class ThreadPool {
   /// uses so joins make progress even on saturated or single-thread pools.
   bool runOneTask();
 
+  /// Parks the calling thread on the pool's idle signal until there is a
+  /// task to help with, `done()` holds, or the pool stops. Used by
+  /// TaskGroup::wait between help attempts; group completion must call
+  /// notifyWaiters() so `done()` gets re-evaluated.
+  void waitForWork(const std::function<bool()>& done);
+
+  /// Wakes every parked worker and waiter (cheap; they re-check and re-park).
+  void notifyWaiters();
+
  private:
+  /// How a task reached its executor (recorded in the profiler's tracks).
+  enum class TaskSource : std::uint8_t { kOwn, kInjected, kStolen };
+
+  struct Item {
+    std::function<void()> task;
+    std::int64_t enqueueUs = 0;  ///< profiler clock at submit; 0 when disabled
+  };
   struct Queue {
     std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    std::deque<Item> tasks;
+  };
+  struct Taken {
+    Item item;
+    TaskSource source = TaskSource::kOwn;
+    [[nodiscard]] explicit operator bool() const noexcept { return item.task != nullptr; }
   };
 
   void workerLoop(std::size_t index);
   /// Pops for executor `index` (own LIFO, injected FIFO, then steal). The
   /// injection queue is queues_[workers_.size()]; callers that are not pool
   /// workers use index == workers_.size() (injected first, then steal).
-  [[nodiscard]] std::function<void()> take(std::size_t index);
-  void runTask(std::function<void()>& task);
+  [[nodiscard]] Taken take(std::size_t index);
+  void runTask(Taken& taken, bool helped);
 
   std::size_t count_ = 0;  ///< fixed before any worker spawns; workers_ itself
                            ///< grows while they run, so they must never size() it
@@ -74,6 +112,11 @@ class ThreadPool {
   std::atomic<std::int64_t> pending_{0};
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> stealSeed_{0};
+  // Hot-path instrument references resolved once: the registry lookup takes
+  // a mutex, which per-task lookups would turn into a contention point.
+  obs::Counter* tasksCounter_ = nullptr;
+  obs::Counter* stealsCounter_ = nullptr;
+  obs::Counter* idleCounter_ = nullptr;
 };
 
 /// Completion tracking for a batch of tasks on one pool.
@@ -98,8 +141,7 @@ class TaskGroup {
  private:
   ThreadPool* pool_;
   std::atomic<std::int64_t> pending_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  std::mutex mu_;  ///< guards error_
   std::exception_ptr error_;
 };
 

@@ -1,6 +1,9 @@
 #include "symbolic/intern.hpp"
 
+#include <functional>
+
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 
 namespace ad::sym {
 
@@ -82,23 +85,28 @@ ExprIntern& ExprIntern::global() {
 }
 
 std::shared_ptr<const Expr> ExprIntern::intern(const Expr& e) {
-  Shard& shard = shards_[fingerprintExpr(e) % kShards];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const std::size_t idx = fingerprintExpr(e) % kShards;
+  Shard& shard = shards_[idx];
+  const bool profiled = obs::profiler().enabled();
+  obs::ShardLock lock(shard.mu, obs::ShardFamily::kExprIntern, idx);
   auto it = shard.byValue.find(e);
-  if (it == shard.byValue.end()) {
+  const bool hit = it != shard.byValue.end();
+  if (!hit) {
     it = shard.byValue.emplace(e, std::make_shared<const Expr>(e)).first;
-    obs::metrics().gauge("ad.intern.exprs").set(static_cast<std::int64_t>(size()));
+    static obs::Gauge& exprs = obs::metrics().gauge("ad.intern.exprs");
+    exprs.set(static_cast<std::int64_t>(count_.fetch_add(1, std::memory_order_relaxed)) + 1);
+  }
+  if (profiled) {
+    obs::ShardStats& stats = obs::profiler().shard(obs::ShardFamily::kExprIntern, idx);
+    (hit ? stats.hits : stats.misses).fetch_add(1, std::memory_order_relaxed);
   }
   return it->second;
 }
 
 std::size_t ExprIntern::size() const {
-  // Lock-free-ish sum: shards are counted under their own locks elsewhere;
-  // callers treat this as a statistic, exactness is not required while
-  // writers are active.
-  std::size_t n = 0;
-  for (const auto& shard : shards_) n += shard.byValue.size();
-  return n;
+  // Atomic mirror of the per-shard map sizes: readable without touching any
+  // shard lock (summing the maps directly would race their writers).
+  return count_.load(std::memory_order_relaxed);
 }
 
 void ExprIntern::clear() {
@@ -106,48 +114,80 @@ void ExprIntern::clear() {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.byValue.clear();
   }
+  count_.store(0, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
 // ProofMemoContext
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Per-shard hit/miss attribution for the profiler ("memo.context" family);
+/// one relaxed load when disabled.
+void noteMemoProbe(std::size_t idx, bool hit) {
+  obs::Profiler& p = obs::profiler();
+  if (!p.enabled()) return;
+  obs::ShardStats& stats = p.shard(obs::ShardFamily::kMemoContext, idx);
+  (hit ? stats.hits : stats.misses).fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 std::optional<bool> ProofMemoContext::lookupBool(Op op, const Expr& e) {
-  Shard& shard = shardFor(e);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (auto it = shard.bools.find(Key{op, e}); it != shard.bools.end()) return it->second;
+  const std::size_t idx = shardIndexFor(e);
+  Shard& shard = shards_[idx];
+  obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoContext, idx);
+  if (auto it = shard.bools.find(Key{op, e}); it != shard.bools.end()) {
+    noteMemoProbe(idx, true);
+    return it->second;
+  }
+  noteMemoProbe(idx, false);
   return std::nullopt;
 }
 
 void ProofMemoContext::storeBool(Op op, const Expr& e, bool value) {
-  Shard& shard = shardFor(e);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const std::size_t idx = shardIndexFor(e);
+  Shard& shard = shards_[idx];
+  obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoContext, idx);
   shard.bools.emplace(Key{op, e}, value);
 }
 
 std::optional<std::optional<int>> ProofMemoContext::lookupSign(const Expr& e) {
-  Shard& shard = shardFor(e);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (auto it = shard.signs.find(e); it != shard.signs.end()) return it->second;
+  const std::size_t idx = shardIndexFor(e);
+  Shard& shard = shards_[idx];
+  obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoContext, idx);
+  if (auto it = shard.signs.find(e); it != shard.signs.end()) {
+    noteMemoProbe(idx, true);
+    return it->second;
+  }
+  noteMemoProbe(idx, false);
   return std::nullopt;
 }
 
 void ProofMemoContext::storeSign(const Expr& e, std::optional<int> value) {
-  Shard& shard = shardFor(e);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const std::size_t idx = shardIndexFor(e);
+  Shard& shard = shards_[idx];
+  obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoContext, idx);
   shard.signs.emplace(e, value);
 }
 
 std::optional<std::optional<Expr>> ProofMemoContext::lookupExpr(Op op, const Expr& e) {
-  Shard& shard = shardFor(e);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (auto it = shard.exprs.find(Key{op, e}); it != shard.exprs.end()) return it->second;
+  const std::size_t idx = shardIndexFor(e);
+  Shard& shard = shards_[idx];
+  obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoContext, idx);
+  if (auto it = shard.exprs.find(Key{op, e}); it != shard.exprs.end()) {
+    noteMemoProbe(idx, true);
+    return it->second;
+  }
+  noteMemoProbe(idx, false);
   return std::nullopt;
 }
 
 void ProofMemoContext::storeExpr(Op op, const Expr& e, const std::optional<Expr>& value) {
-  Shard& shard = shardFor(e);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const std::size_t idx = shardIndexFor(e);
+  Shard& shard = shards_[idx];
+  obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoContext, idx);
   shard.exprs.emplace(Key{op, e}, value);
 }
 
@@ -178,11 +218,14 @@ void ProofMemo::setEnabled(bool on) { gMemoEnabled.store(on, std::memory_order_r
 
 std::shared_ptr<ProofMemoContext> ProofMemo::context(const Assumptions& a) {
   const std::string key = serializeAssumptions(a);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = contexts_.find(key);
-  if (it == contexts_.end()) {
-    it = contexts_.emplace(key, std::make_shared<ProofMemoContext>()).first;
-    obs::metrics().gauge("ad.intern.contexts").set(static_cast<std::int64_t>(contexts_.size()));
+  const std::size_t idx = std::hash<std::string>{}(key) % kShards;
+  Shard& shard = shards_[idx];
+  obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoRegistry, idx);
+  auto it = shard.contexts.find(key);
+  if (it == shard.contexts.end()) {
+    it = shard.contexts.emplace(key, std::make_shared<ProofMemoContext>()).first;
+    static obs::Gauge& contexts = obs::metrics().gauge("ad.intern.contexts");
+    contexts.set(contextCount_.fetch_add(1, std::memory_order_relaxed) + 1);
   }
   return it->second;
 }
@@ -191,16 +234,16 @@ ProofMemo::Stats ProofMemo::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s.contexts = static_cast<std::int64_t>(contexts_.size());
-  }
+  s.contexts = contextCount_.load(std::memory_order_relaxed);
   return s;
 }
 
 void ProofMemo::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  contexts_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.contexts.clear();
+  }
+  contextCount_.store(0, std::memory_order_relaxed);
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   obs::metrics().gauge("ad.intern.contexts").set(0);
@@ -208,12 +251,16 @@ void ProofMemo::clear() {
 
 void ProofMemo::recordHit() {
   hits_.fetch_add(1, std::memory_order_relaxed);
-  obs::metrics().counter("ad.intern.proof_hits").add(1);
+  // Resolved once: a registry lookup per probe would lock the registry mutex
+  // on the hottest path of the whole engine (millions of probes per batch).
+  static obs::Counter& proofHits = obs::metrics().counter("ad.intern.proof_hits");
+  proofHits.add(1);
 }
 
 void ProofMemo::recordMiss() {
   misses_.fetch_add(1, std::memory_order_relaxed);
-  obs::metrics().counter("ad.intern.proof_misses").add(1);
+  static obs::Counter& proofMisses = obs::metrics().counter("ad.intern.proof_misses");
+  proofMisses.add(1);
 }
 
 }  // namespace ad::sym

@@ -67,12 +67,18 @@ class ExprIntern {
   void clear();
 
  private:
-  static constexpr std::size_t kShards = 16;
-  struct Shard {
+  // 32 cache-line-aligned shards: sized and padded so eight workers interning
+  // the suite's stride/offset families rarely collide on a shard, and a
+  // contended shard never false-shares its neighbour's mutex. Lock waits and
+  // hit/miss traffic are attributed per shard by the contention profiler
+  // (obs/profiler.hpp, family "intern.expr").
+  static constexpr std::size_t kShards = 32;
+  struct alignas(64) Shard {
     mutable std::mutex mu;
     std::map<Expr, std::shared_ptr<const Expr>> byValue;
   };
   Shard shards_[kShards];
+  std::atomic<std::size_t> count_{0};  ///< arena size without cross-shard locks
 };
 
 // ---------------------------------------------------------------------------
@@ -101,7 +107,11 @@ class ProofMemoContext {
   [[nodiscard]] std::size_t entries() const;
 
  private:
-  static constexpr std::size_t kShards = 8;
+  // Re-sharded 8 -> 32 and cache-line aligned (the profiler's per-shard
+  // lock-wait numbers drove both: eight shards convoyed under eight workers,
+  // and unaligned shards false-shared their mutexes). Shard index i of every
+  // context aggregates into profiler family "memo.context" row i.
+  static constexpr std::size_t kShards = 32;
   struct Key {
     Op op;
     Expr expr;
@@ -110,14 +120,14 @@ class ProofMemoContext {
       return expr.compare(o.expr) < 0;
     }
   };
-  struct Shard {
+  struct alignas(64) Shard {
     mutable std::mutex mu;
     std::map<Key, bool> bools;
     std::map<Expr, std::optional<int>> signs;
     std::map<Key, std::optional<Expr>> exprs;
   };
-  [[nodiscard]] Shard& shardFor(const Expr& e) {
-    return shards_[fingerprintExpr(e) % kShards];
+  [[nodiscard]] std::size_t shardIndexFor(const Expr& e) const {
+    return fingerprintExpr(e) % kShards;
   }
   Shard shards_[kShards];
 };
@@ -155,8 +165,17 @@ class ProofMemo {
   void recordMiss();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<ProofMemoContext>> contexts_;
+  // The context table is itself sharded: every RangeAnalyzer construction
+  // probes it, and a single registry mutex serialized all workers at batch
+  // fan-out time (profiler family "memo.registry" showed it as the hottest
+  // lock of the 8-thread run before the split).
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<ProofMemoContext>> contexts;
+  };
+  Shard shards_[kShards];
+  std::atomic<std::int64_t> contextCount_{0};
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};
 };

@@ -94,6 +94,16 @@ TEST(Cli, RejectsBadBudgets) {
 TEST(Cli, RejectsEmptyArtifactPaths) {
   expectRejected({"--trace-out="}, "--trace-out");
   expectRejected({"--metrics-out="}, "--metrics-out");
+  expectRejected({"--profile-out="}, "--profile-out");
+}
+
+TEST(Cli, AcceptsProfileOut) {
+  const auto r = parse({"8", "8", "4", "--profile-out=p.json"});
+  ASSERT_TRUE(r.has_value()) << r.status().str();
+  EXPECT_EQ(r->profileOut, "p.json");
+  const auto off = parse({"8", "8", "4"});
+  ASSERT_TRUE(off.has_value());
+  EXPECT_TRUE(off->profileOut.empty());
 }
 
 TEST(Cli, RejectsSuiteWithPositionals) {
@@ -118,7 +128,7 @@ TEST(Cli, UsageMentionsEveryFlagAndExitCode) {
   const std::string usage = cliUsage("prog");
   for (const char* needle :
        {"--simulate", "--suite", "--jobs", "--fault", "--budget-steps", "--budget-ms",
-        "--trace-out=", "--metrics-out=", "exit codes"}) {
+        "--trace-out=", "--metrics-out=", "--profile-out=", "exit codes"}) {
     EXPECT_NE(usage.find(needle), std::string::npos) << "usage lacks " << needle;
   }
 }

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -81,6 +83,48 @@ TEST_F(ObsTest, HistogramBucketsAndStats) {
   EXPECT_EQ(h.sum(), 1003);
   EXPECT_EQ(h.minValue(), 0);
   EXPECT_EQ(h.maxValue(), 1000);
+}
+
+TEST_F(ObsTest, HistogramOverflowBucketCatchesExtremes) {
+  Histogram& h = metrics().histogram("ad.test.hist_overflow");
+  // The last bucket is the +inf catch-all; its bound must say so.
+  EXPECT_EQ(Histogram::bucketBound(Histogram::kBuckets - 1),
+            std::numeric_limits<std::int64_t>::max());
+  h.observe(std::numeric_limits<std::int64_t>::max());
+  h.observe(std::int64_t{1} << 40);
+  h.observe(std::int64_t{1} << 62);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.bucketCount(Histogram::kBuckets - 1), 3);
+  EXPECT_EQ(h.maxValue(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(h.minValue(), std::int64_t{1} << 40);
+  // No other bucket may have absorbed them.
+  for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(h.bucketCount(i), 0) << "bucket " << i;
+  }
+}
+
+TEST_F(ObsTest, HistogramMinMaxConcurrentCasExact) {
+  // Every thread observes a distinct band of values; the CAS loops in
+  // observe() must converge on the exact global extremes under concurrent
+  // updates. Negative inputs clamp to 0 (observations are durations), so
+  // thread 0's dips below zero must surface as an exact minimum of 0.
+  // Runs under TSan in CI.
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kPerThread = 20000;
+  Histogram& h = metrics().histogram("ad.test.hist_minmax");
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        h.observe(t * 1000 + (i % 100) - 50);  // thread 0 dips to -50
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_EQ(h.minValue(), 0);  // clamped, not -50
+  EXPECT_EQ(h.maxValue(), (kThreads - 1) * 1000 + 49);
 }
 
 TEST_F(ObsTest, HistogramConcurrentObservesExact) {

@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
+#include "obs/obs.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ad {
@@ -76,6 +79,37 @@ TEST(ThreadPool, FirstExceptionRethrownAtJoin) {
   again.run([&ran] { ran.store(true, std::memory_order_relaxed); });
   again.wait();
   EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, RepeatedQuiesceAndResubmitStaysLive) {
+  // Workers park on the idle condition variable between bursts; a lost
+  // wakeup would deadlock one of these cycles (each group must fully drain
+  // before the next begins).
+  support::ThreadPool pool(2);
+  std::atomic<int> runs{0};
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    support::TaskGroup group(pool);
+    group.run([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+    group.wait();
+  }
+  EXPECT_EQ(100, runs.load());
+}
+
+TEST(ThreadPool, IdleTimeIsAccounted) {
+  obs::Counter& idle = obs::metrics().counter("ad.pool.idle_us");
+  const std::int64_t before = idle.value();
+  {
+    support::ThreadPool pool(2);
+    // Quiet pool: workers park in waitForWork, which accumulates the parked
+    // microseconds into ad.pool.idle_us on wakeup (here: shutdown).
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    support::TaskGroup group(pool);
+    std::atomic<bool> ran{false};
+    group.run([&ran] { ran.store(true, std::memory_order_relaxed); });
+    group.wait();
+    EXPECT_TRUE(ran.load());
+  }
+  EXPECT_GT(idle.value(), before);
 }
 
 TEST(ThreadPool, RunOneTaskReportsEmptiness) {
