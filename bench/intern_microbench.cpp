@@ -1,0 +1,169 @@
+// Hash-consing arena microbenchmark: cold (miss-path) vs warm (hit-path)
+// intern throughput on a family of distinct normal forms, plus the table's
+// structural health — mean probe length, load factor, bytes per node.
+//
+// Legs (best of 3 repetitions each, interleaved so machine drift hits both
+// alike):
+//   cold: arena restarted, every expression interned for the first time —
+//         pays hashing, probing, slab allocation, and occasional rehash;
+//   warm: the same expressions re-interned against the populated table —
+//         pays hashing and one probe, allocates nothing.
+// warm_speedup = cold_ns_per_op / warm_ns_per_op is a within-run ratio, so
+// it transfers across machines; the raw ns/op values are informational only.
+//
+// A separate profiled pass feeds the contention profiler's probe-step
+// counters: mean_probe_length = probe_steps / (hits + misses) summed over the
+// intern.expr shard family. Near 1.0 means the cached-hash open addressing
+// barely chains.
+//
+// Emits BENCH_intern.json (schema ad.bench.intern.v1):
+//   { "distinct_exprs": N, "warm_rounds": R, "reps": 3,
+//     "cold_ns_per_op": ..., "warm_ns_per_op": ..., "warm_speedup": ...,
+//     "mean_probe_length": ..., "load_factor": ..., "slots": ...,
+//     "bytes_per_node": ..., "arena_bytes": ... }
+//
+// Acceptance (checked here, nonzero exit on failure):
+//   - interning is lossless: size() == distinct_exprs after every leg,
+//   - warm (hit) path faster than cold (miss) path,
+//   - mean probe length <= 4.0, load factor in (0, 0.75],
+//   - bytes per node under 4 KiB (slab + slot overhead stays bounded).
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/profiler.hpp"
+#include "symbolic/expr.hpp"
+#include "symbolic/intern.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using ad::sym::Expr;
+using ad::sym::ExprIntern;
+
+double nsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+}
+
+/// Distinct normal forms shaped like the suite's subscript arithmetic:
+/// parameter-scaled strides, index terms, small offsets, a pow2 sprinkle.
+std::vector<Expr> makeExprs(ad::sym::SymbolTable& st, int n) {
+  const auto p = st.parameter("P");
+  const auto q = st.parameter("Q");
+  const auto i = st.index("i");
+  const auto j = st.index("j");
+  std::vector<Expr> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    Expr e = Expr::symbol(p) * Expr::constant(k + 1) +
+             Expr::symbol(i) * Expr::constant(k % 13) + Expr::constant(k - 7);
+    if (k % 3 == 0) e = e + Expr::symbol(q) * Expr::symbol(j);
+    if (k % 5 == 0) e = e + Expr::pow2(Expr::symbol(j) + Expr::constant(k % 9));
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ad;
+  bench::Reporter r("Hash-consing arena microbench (cold/warm intern throughput, best of 3)");
+
+  constexpr int kDistinct = 4096;
+  constexpr int kWarmRounds = 16;
+  constexpr int kReps = 3;
+
+  sym::SymbolTable st;
+  const std::vector<Expr> exprs = makeExprs(st, kDistinct);
+
+  double coldBest = -1.0;
+  double warmBest = -1.0;
+  bool lossless = true;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Cold: every intern is a miss (arena restarted).
+    ExprIntern::global().clear();
+    const auto coldStart = Clock::now();
+    for (const Expr& e : exprs) (void)ExprIntern::global().intern(e);
+    const double coldNs = nsSince(coldStart) / kDistinct;
+    if (coldBest < 0.0 || coldNs < coldBest) coldBest = coldNs;
+    lossless = lossless && ExprIntern::global().size() == kDistinct;
+
+    // Warm: every intern is a hit against the table the cold leg built.
+    const auto warmStart = Clock::now();
+    for (int round = 0; round < kWarmRounds; ++round) {
+      for (const Expr& e : exprs) (void)ExprIntern::global().intern(e);
+    }
+    const double warmNs = nsSince(warmStart) / (static_cast<double>(kWarmRounds) * kDistinct);
+    if (warmBest < 0.0 || warmNs < warmBest) warmBest = warmNs;
+    lossless = lossless && ExprIntern::global().size() == kDistinct;
+  }
+  const double warmSpeedup = coldBest / warmBest;
+
+  // Profiled pass (outside the timing legs): one full hit round attributes
+  // probe steps to the intern.expr shard family.
+  obs::profiler().reset();
+  obs::profiler().enable();
+  for (const Expr& e : exprs) (void)ExprIntern::global().intern(e);
+  obs::profiler().disable();
+  std::int64_t probeSteps = 0;
+  std::int64_t probes = 0;
+  for (std::size_t i = 0; i < obs::kMaxShardsPerFamily; ++i) {
+    const obs::ShardStats& s = obs::profiler().shard(obs::ShardFamily::kExprIntern, i);
+    probeSteps += s.probeSteps.load(std::memory_order_relaxed);
+    probes += s.hits.load(std::memory_order_relaxed) + s.misses.load(std::memory_order_relaxed);
+  }
+  obs::profiler().reset();
+  const double meanProbe =
+      probes > 0 ? static_cast<double>(probeSteps) / static_cast<double>(probes) : 0.0;
+
+  const ExprIntern::TableStats stats = ExprIntern::global().tableStats();
+  const double loadFactor = stats.loadFactor();
+  const double bytesPerNode =
+      stats.exprs > 0 ? static_cast<double>(stats.bytes) / static_cast<double>(stats.exprs) : 0.0;
+
+  {
+    std::ostringstream line;
+    line << "cold: " << coldBest << " ns/op, warm: " << warmBest << " ns/op  (warm speedup "
+         << warmSpeedup << "x)";
+    r.note(line.str());
+  }
+  {
+    std::ostringstream line;
+    line << "mean probe length " << meanProbe << " over " << probes << " probes, load factor "
+         << loadFactor << " (" << stats.exprs << " exprs / " << stats.slots << " slots), "
+         << bytesPerNode << " bytes/node";
+    r.note(line.str());
+  }
+
+  r.checkTrue("interning is lossless (size == distinct exprs after every leg)", lossless);
+  r.checkTrue("profiled pass saw every expression exactly once",
+              probes == static_cast<std::int64_t>(kDistinct));
+  r.checkTrue("warm (hit) path beats cold (miss) path (got " + std::to_string(warmSpeedup) + "x)",
+              warmSpeedup > 1.0);
+  r.checkTrue("mean probe length <= 4.0 (got " + std::to_string(meanProbe) + ")",
+              meanProbe > 0.0 && meanProbe <= 4.0);
+  r.checkTrue("load factor in (0, 0.75] (got " + std::to_string(loadFactor) + ")",
+              loadFactor > 0.0 && loadFactor <= 0.75);
+  r.checkTrue("bytes per node < 4096 (got " + std::to_string(bytesPerNode) + ")",
+              bytesPerNode > 0.0 && bytesPerNode < 4096.0);
+
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"ad.bench.intern.v1\",\n";
+  json << "  \"distinct_exprs\": " << kDistinct << ",\n";
+  json << "  \"warm_rounds\": " << kWarmRounds << ",\n  \"reps\": " << kReps << ",\n";
+  json << "  \"cold_ns_per_op\": " << coldBest << ",\n";
+  json << "  \"warm_ns_per_op\": " << warmBest << ",\n";
+  json << "  \"warm_speedup\": " << warmSpeedup << ",\n";
+  json << "  \"mean_probe_length\": " << meanProbe << ",\n";
+  json << "  \"load_factor\": " << loadFactor << ",\n  \"slots\": " << stats.slots << ",\n";
+  json << "  \"bytes_per_node\": " << bytesPerNode << ",\n";
+  json << "  \"arena_bytes\": " << stats.bytes << "\n}\n";
+  ExprIntern::global().clear();
+  if (!bench::writeTextFile("BENCH_intern.json", json.str())) return EXIT_FAILURE;
+  r.note("wrote BENCH_intern.json");
+
+  return r.finish();
+}

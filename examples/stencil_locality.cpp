@@ -30,11 +30,11 @@ int main(int argc, char** argv) {
   std::cout << "=== overlap analysis ===\n";
   for (const auto& g : result.lcg.graphs()) {
     for (const auto& node : g.nodes) {
-      if (!node.info.overlap.value_or(false)) continue;
+      if (!node.info->overlap.value_or(false)) continue;
       std::cout << "  " << prog.phase(node.phase).name() << "/" << g.array
                 << ": overlapping storage";
-      if (node.info.overlapDistance) {
-        std::cout << ", Delta_s = " << node.info.overlapDistance->str(prog.symbols());
+      if (node.info->overlapDistance) {
+        std::cout << ", Delta_s = " << node.info->overlapDistance->str(prog.symbols());
       }
       std::cout << "\n";
     }

@@ -5,7 +5,8 @@ Usage:
     scripts/bench_compare.py <baseline_dir> <fresh_dir> [--tolerance-pct N]
 
 Compares the bench JSON artifacts the perf CI stage produces
-(BENCH_analysis.json, BENCH_contention.json, BENCH_symval.json) against the
+(BENCH_analysis.json, BENCH_contention.json, BENCH_intern.json,
+BENCH_symval.json) against the
 baselines under bench/baselines/. Exits nonzero, listing every violated
 metric, when the fresh run regressed.
 
@@ -75,6 +76,15 @@ def compare_analysis(gate, baseline, fresh, tolerance_pct):
         gate.ratio_floor(f"analysis.speedup[jobs={jobs}]",
                          base_runs[jobs]["speedup"], fresh_runs[jobs]["speedup"],
                          tolerance_pct)
+    # Absolute floor from the hash-consing PR: the cold serial (jobs=1) leg
+    # must hold >= 1.3x the pre-interning baseline speedup of 10.2714. This is
+    # still a within-run ratio (memoized vs legacy engine, same process), so
+    # it is machine-portable, unlike raw wall-clock.
+    if 1 in fresh_runs:
+        gate.check(fresh_runs[1]["speedup"] >= 13.353,
+                   "analysis.speedup[jobs=1].absolute_floor",
+                   f"fresh {fresh_runs[1]['speedup']:.3f} must stay >= 13.353 "
+                   f"(1.3x the pre-interning 10.271)")
     # Hit rate is a cache property of a deterministic workload, not a timing:
     # a small absolute allowance covers task-order nondeterminism only.
     gate.check(fresh["tfft2"]["hit_rate"] >= baseline["tfft2"]["hit_rate"] - 0.05,
@@ -114,9 +124,32 @@ def compare_symval(gate, baseline, fresh, tolerance_pct):
                        f"baseline {b['local_fraction']}, fresh {f['local_fraction']}")
 
 
+def compare_intern(gate, baseline, fresh, tolerance_pct):
+    gate.exact("intern.schema", baseline["schema"], fresh["schema"])
+    gate.exact("intern.distinct_exprs", baseline["distinct_exprs"],
+               fresh["distinct_exprs"])
+    gate.exact("intern.warm_rounds", baseline["warm_rounds"], fresh["warm_rounds"])
+    # The warm/cold quotient is measured within one process, so it transfers
+    # across machines; raw ns/op does not and is never compared.
+    gate.ratio_floor("intern.warm_speedup", baseline["warm_speedup"],
+                     fresh["warm_speedup"], tolerance_pct)
+    # Table-quality metrics are deterministic properties of the hash function
+    # and the resize policy over a fixed workload, so they get tight absolute
+    # ceilings rather than a timing tolerance.
+    gate.abs_ceiling("intern.mean_probe_length", fresh["mean_probe_length"],
+                     max(baseline["mean_probe_length"] + 1.0, 4.0),
+                     f"baseline {baseline['mean_probe_length']:.3f} + 1 probe, min 4")
+    gate.abs_ceiling("intern.load_factor", fresh["load_factor"], 0.75,
+                     "resize policy must keep open addressing sparse")
+    gate.abs_ceiling("intern.bytes_per_node", fresh["bytes_per_node"],
+                     baseline["bytes_per_node"] * 1.25,
+                     f"baseline {baseline['bytes_per_node']:.1f} + 25% layout headroom")
+
+
 COMPARATORS = {
     "BENCH_analysis.json": compare_analysis,
     "BENCH_contention.json": compare_contention,
+    "BENCH_intern.json": compare_intern,
     "BENCH_symval.json": compare_symval,
 }
 

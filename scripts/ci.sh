@@ -38,12 +38,14 @@ tsan() {
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "$jobs" --target \
-    sim_test obs_test thread_pool_test determinism_test profiler_test
+    sim_test obs_test thread_pool_test determinism_test profiler_test \
+    intern_test
   ./build-tsan/tests/sim_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/thread_pool_test
   ./build-tsan/tests/determinism_test
   ./build-tsan/tests/profiler_test
+  ./build-tsan/tests/intern_test
 }
 
 asan() {
@@ -273,10 +275,33 @@ perf() {
   echo "=== perf: regression gate vs bench/baselines ==="
   cmake -B build -S .
   cmake --build build -j "$jobs" --target \
-    analysis_scaling contention_profile symbolic_validation
+    analysis_scaling contention_profile symbolic_validation intern_microbench
   ./build/bench/analysis_scaling
   ./build/bench/contention_profile
   ./build/bench/symbolic_validation
+  ./build/bench/intern_microbench
+
+  # Structural schema check of the interning artifact: the ad.bench.intern.v1
+  # shape, plus the invariants the arena guarantees regardless of machine
+  # (power-of-two slot count, sparse open addressing, all-positive timings).
+  python3 - <<'EOF'
+import json
+
+doc = json.load(open("BENCH_intern.json"))
+assert doc["schema"] == "ad.bench.intern.v1", doc.get("schema")
+for key in ("distinct_exprs", "warm_rounds", "reps", "cold_ns_per_op",
+            "warm_ns_per_op", "warm_speedup", "mean_probe_length",
+            "load_factor", "slots", "bytes_per_node", "arena_bytes"):
+    assert key in doc, f"missing {key}"
+assert doc["distinct_exprs"] > 0 and doc["reps"] >= 3
+assert doc["cold_ns_per_op"] > 0 and doc["warm_ns_per_op"] > 0
+assert doc["slots"] & (doc["slots"] - 1) == 0, f"slots not a power of two: {doc['slots']}"
+assert 0.0 < doc["load_factor"] <= 0.75, doc["load_factor"]
+assert doc["mean_probe_length"] >= 1.0, doc["mean_probe_length"]
+print(f"intern schema ok: {doc['distinct_exprs']} exprs, "
+      f"warm speedup {doc['warm_speedup']:.2f}x, "
+      f"mean probe {doc['mean_probe_length']:.3f}")
+EOF
 
   # Structural schema check of the contention artifact before it is compared
   # or uploaded: the ad.bench.contention.v1 shape plus the embedded
@@ -306,11 +331,13 @@ EOF
   python3 scripts/bench_compare.py bench/baselines .
 
   # Self-test: inject a synthetic regression (halved jobs=8 speedup, tripled
-  # profiler overhead) into copies of the fresh artifacts; the comparator
-  # must reject them, otherwise the gate is decorative.
+  # profiler overhead, degenerate intern probe length) into copies of the
+  # fresh artifacts; the comparator must reject them, otherwise the gate is
+  # decorative.
   local doctored
   doctored="$(mktemp -d)"
-  cp BENCH_analysis.json BENCH_contention.json BENCH_symval.json "$doctored"/
+  cp BENCH_analysis.json BENCH_contention.json BENCH_intern.json \
+     BENCH_symval.json "$doctored"/
   python3 - "$doctored" <<'EOF'
 import json, sys
 
@@ -322,6 +349,10 @@ json.dump(doc, open(f"{root}/BENCH_analysis.json", "w"))
 doc = json.load(open(f"{root}/BENCH_contention.json"))
 doc["overhead_pct"] = max(3 * doc["overhead_pct"], 12.0)
 json.dump(doc, open(f"{root}/BENCH_contention.json", "w"))
+doc = json.load(open(f"{root}/BENCH_intern.json"))
+doc["mean_probe_length"] = 10 * doc["mean_probe_length"]
+doc["warm_speedup"] *= 0.4
+json.dump(doc, open(f"{root}/BENCH_intern.json", "w"))
 EOF
   if python3 scripts/bench_compare.py bench/baselines "$doctored" >/dev/null 2>&1; then
     echo "FAIL: bench_compare accepted a synthetic 2x speedup regression" >&2
@@ -330,6 +361,27 @@ EOF
   fi
   rm -rf "$doctored"
   echo "ok (self-test): synthetic regression rejected"
+
+  # Second leg: doctor ONLY the interning artifact, so a pass here proves the
+  # intern comparator itself trips (not just the analysis/contention gates).
+  doctored="$(mktemp -d)"
+  cp BENCH_analysis.json BENCH_contention.json BENCH_intern.json \
+     BENCH_symval.json "$doctored"/
+  python3 - "$doctored" <<'EOF'
+import json, sys
+
+root = sys.argv[1]
+doc = json.load(open(f"{root}/BENCH_intern.json"))
+doc["mean_probe_length"] = 10 * doc["mean_probe_length"]
+json.dump(doc, open(f"{root}/BENCH_intern.json", "w"))
+EOF
+  if python3 scripts/bench_compare.py bench/baselines "$doctored" >/dev/null 2>&1; then
+    echo "FAIL: bench_compare accepted a degenerate intern probe length" >&2
+    rm -rf "$doctored"
+    exit 1
+  fi
+  rm -rf "$doctored"
+  echo "ok (self-test): degenerate intern table rejected"
 }
 
 bench() {

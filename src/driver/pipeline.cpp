@@ -43,11 +43,11 @@ std::int64_t chunkFor(const ir::Program& program, const ilp::Model& model,
 dsm::DataDistribution nodeDistribution(const lcg::Node& node, std::int64_t chunk,
                                        const ir::Bindings& params) {
   std::int64_t block = std::max<std::int64_t>(1, chunk);
-  if (node.info.side) {
-    const std::int64_t slope = evalInt(node.info.side->slope, params, "slope");
+  if (node.info->side) {
+    const std::int64_t slope = evalInt(node.info->side->slope, params, "slope");
     if (slope > 0) block = checkedMul(slope, chunk);
   }
-  for (const auto& s : node.info.storage) {
+  for (const auto& s : node.info->storage) {
     if (s.kind == loc::StorageConstraint::Kind::kReverse) {
       const std::int64_t fold = evalInt(s.distance, params, "reverse distance");
       if (fold >= 1) return dsm::DataDistribution::foldedBlockCyclic(block, fold);
@@ -97,7 +97,7 @@ dsm::ExecutionPlan derivePlan(const ir::Program& program, const lcg::LCG& lcg,
         const lcg::Node& node = g.nodes[n];
         if (node.attr == loc::Attr::kPrivatized) continue;  // scratch: carry previous
         const bool reverse =
-            std::any_of(node.info.storage.begin(), node.info.storage.end(), [](const auto& s) {
+            std::any_of(node.info->storage.begin(), node.info->storage.end(), [](const auto& s) {
               return s.kind == loc::StorageConstraint::Kind::kReverse;
             });
         if (!current || reverse) {
@@ -129,8 +129,8 @@ dsm::ExecutionPlan derivePlan(const ir::Program& program, const lcg::LCG& lcg,
     std::vector<std::int64_t> halos(numPhases, 0);
     for (std::size_t n = 0; n < g.nodes.size(); ++n) {
       const lcg::Node& node = g.nodes[n];
-      const auto& terms = node.info.id.terms();
-      if (terms.empty() || !node.info.id.uniformParallelStride()) continue;
+      const auto& terms = node.info->id.terms();
+      if (terms.empty() || !node.info->id.uniformParallelStride()) continue;
       try {
         const std::int64_t a =
             std::abs(evalInt(terms[0].deltaP, params, "parallel stride"));

@@ -75,13 +75,13 @@ std::string serializeGolden(const PipelineResult& result, const ir::Program& pro
       out += ", \"attr\": \"";
       out += loc::attrName(node.attr);
       out += "\", \"overlap\": \"";
-      out += triState(node.info.overlap);
+      out += triState(node.info->overlap);
       out += "\"";
-      if (node.info.side) {
+      if (node.info->side) {
         out += ", \"slope\": ";
-        appendEscaped(out, node.info.side->slope.str(table));
+        appendEscaped(out, node.info->side->slope.str(table));
         out += ", \"offset\": ";
-        appendEscaped(out, node.info.side->offset.str(table));
+        appendEscaped(out, node.info->side->offset.str(table));
       }
       out += "}";
       out += n + 1 < graph.nodes.size() ? ",\n" : "\n";

@@ -61,7 +61,7 @@ Model buildModel(const lcg::LCG& lcg, const std::map<sym::SymbolId, std::int64_t
       v.phase = node.phase;
       v.array = g.array;
       v.name = "p" + std::to_string(node.phase + 1) + std::to_string(arrayOrdinal);
-      const std::int64_t trip = evalInt(node.info.parallelTrip, params, "parallel trip count");
+      const std::int64_t trip = evalInt(node.info->parallelTrip, params, "parallel trip count");
       v.hi = std::max<std::int64_t>(1, ceilDiv(trip, processors));
       index[{node.phase, g.array}] = m.vars_.size();
       m.vars_.push_back(std::move(v));
@@ -103,9 +103,9 @@ Model buildModel(const lcg::LCG& lcg, const std::map<sym::SymbolId, std::int64_t
         const std::int64_t arraySize =
             evalInt(prog.array(g.array).size, params, "array size");
         std::int64_t vol = arraySize;
-        if (ng.info.side) {
-          const std::int64_t trip = evalInt(ng.info.parallelTrip, params, "trip");
-          const std::int64_t slope = evalInt(ng.info.side->slope, params, "slope");
+        if (ng.info->side) {
+          const std::int64_t trip = evalInt(ng.info->parallelTrip, params, "trip");
+          const std::int64_t slope = evalInt(ng.info->side->slope, params, "slope");
           if (slope > 0) vol = std::min(arraySize, checkedMul(trip, slope));
         }
         m.fixedCommCost_ += redistributionCost(vol, processors, cp);
@@ -116,15 +116,15 @@ Model buildModel(const lcg::LCG& lcg, const std::map<sym::SymbolId, std::int64_t
     }
     // Frontier costs for overlap nodes (halo refresh per boundary).
     for (const auto& node : g.nodes) {
-      if (!node.info.overlap.value_or(false) || !node.info.overlapDistance || !node.info.side) {
+      if (!node.info->overlap.value_or(false) || !node.info->overlapDistance || !node.info->side) {
         continue;
       }
       try {
         FrontierCostTerm f;
         f.var = index.at({node.phase, g.array});
         f.arraySize = evalInt(prog.array(g.array).size, params, "array size");
-        f.slope = std::max<std::int64_t>(1, evalInt(node.info.side->slope, params, "slope"));
-        f.halo = evalInt(*node.info.overlapDistance, params, "halo width");
+        f.slope = std::max<std::int64_t>(1, evalInt(node.info->side->slope, params, "slope"));
+        f.halo = evalInt(*node.info->overlapDistance, params, "halo width");
         if (f.halo > 0) m.frontierCosts_.push_back(f);
       } catch (const AnalysisError&) {
         // unevaluable: leave the frontier cost out (conservatively cheap)
@@ -133,7 +133,7 @@ Model buildModel(const lcg::LCG& lcg, const std::map<sym::SymbolId, std::int64_t
     // Storage constraints (Table 2 third block).
     for (const auto& node : g.nodes) {
       const std::size_t v = index.at({node.phase, g.array});
-      for (const auto& s : node.info.storage) {
+      for (const auto& s : node.info->storage) {
         StorageBound sb;
         sb.var = v;
         const std::int64_t dist = evalInt(s.distance, params, "storage distance");

@@ -142,14 +142,14 @@ LCG buildLCGImpl(const ir::Program& program, const std::map<sym::SymbolId, std::
       }
       phaseIdx.push_back(k);
     }
-    std::vector<loc::PhaseArrayInfo> infos(phaseIdx.size());
+    std::vector<std::shared_ptr<const loc::PhaseArrayInfo>> infos(phaseIdx.size());
     if (pool != nullptr && phaseIdx.size() > 1) {
       std::vector<std::exception_ptr> nodeErrors(phaseIdx.size());
       support::TaskGroup nodes(*pool);
       for (std::size_t i = 0; i < phaseIdx.size(); ++i) {
         nodes.run([&, i] {
           try {
-            infos[i] = loc::analyzePhaseArray(program, phaseIdx[i], arr.name);
+            infos[i] = loc::analyzePhaseArrayShared(program, phaseIdx[i], arr.name);
           } catch (...) {
             nodeErrors[i] = std::current_exception();
           }
@@ -161,14 +161,14 @@ LCG buildLCGImpl(const ir::Program& program, const std::map<sym::SymbolId, std::
       }
     } else {
       for (std::size_t i = 0; i < phaseIdx.size(); ++i) {
-        infos[i] = loc::analyzePhaseArray(program, phaseIdx[i], arr.name);
+        infos[i] = loc::analyzePhaseArrayShared(program, phaseIdx[i], arr.name);
       }
     }
     for (std::size_t i = 0; i < phaseIdx.size(); ++i) {
       Node node;
       node.phase = phaseIdx[i];
       node.info = std::move(infos[i]);
-      node.attr = node.info.attr;
+      node.attr = node.info->attr;
       g.nodes.push_back(std::move(node));
     }
     const auto addEdge = [&](std::size_t from, std::size_t to, bool back) {
@@ -176,8 +176,8 @@ LCG buildLCGImpl(const ir::Program& program, const std::map<sym::SymbolId, std::
       e.from = from;
       e.to = to;
       e.backEdge = back;
-      const auto& ni = g.nodes[from].info;
-      const auto& nj = g.nodes[to].info;
+      const auto& ni = *g.nodes[from].info;
+      const auto& nj = *g.nodes[to].info;
       e.condition = loc::makeBalancedCondition(ni, nj);
       bool balanced = false;
       if (e.condition) {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,7 +29,10 @@ namespace ad::lcg {
 struct Node {
   std::size_t phase = 0;  ///< index into program.phases()
   loc::Attr attr = loc::Attr::kRead;
-  loc::PhaseArrayInfo info;  ///< full analysis results for ILP/codegen
+  /// Full analysis results for ILP/codegen. Shared with the process-wide
+  /// phase-array memo: a cache hit is the same immutable node, so equality of
+  /// analysis inputs is pointer identity here. Never null after buildLCG.
+  std::shared_ptr<const loc::PhaseArrayInfo> info;
 };
 
 struct Edge {

@@ -121,6 +121,13 @@ std::vector<StorageConstraint> computeStorage(const desc::IterationDescriptor& i
 /// showed lcg.build dominated by these repeats). Shard index feeds profiler
 /// family "loc.phase_array"; traffic is exported as ad.loc.phase_hits /
 /// ad.loc.phase_misses.
+/// The memo key: exact serialization plus its hash, FNV-continued from the
+/// Assumptions' cached memoKey so the dominant prefix is never rehashed.
+struct PhaseKey {
+  std::string text;
+  std::uint64_t hash = 0;
+};
+
 class PhaseArrayMemo {
  public:
   static PhaseArrayMemo& global() {
@@ -128,22 +135,51 @@ class PhaseArrayMemo {
     return instance;
   }
 
-  std::optional<PhaseArrayInfo> lookup(const std::string& key) {
+  std::shared_ptr<const PhaseArrayInfo> lookup(const PhaseKey& key, std::size_t phaseIdx) {
     const std::size_t idx = shardIndexFor(key);
     Shard& shard = shards_[idx];
     obs::ShardLock lock(shard.mu, obs::ShardFamily::kPhaseInfo, idx);
-    const auto it = shard.infos.find(key);
-    const bool hit = it != shard.infos.end();
-    noteProbe(idx, hit);
-    if (!hit) return std::nullopt;
-    return it->second;
+    std::size_t steps = 0;
+    if (const auto it = shard.infos.find(key.hash); it != shard.infos.end()) {
+      // Exact-text compare only within the hash bucket: a hit costs one
+      // string compare and hands back the cached node itself — no deep copy.
+      for (Entry& entry : it->second) {
+        ++steps;
+        if (entry.text == key.text) {
+          noteProbe(idx, true, steps);
+          if (const auto vit = entry.byPhase.find(phaseIdx); vit != entry.byPhase.end()) {
+            return vit->second;
+          }
+          // Structurally identical phase at a new position: build the
+          // re-stamped variant once, then every later hit shares it. Any
+          // existing variant works as the source — they differ only in the
+          // embedded index, so the result is position-deterministic.
+          auto restamped = restampedVariant(*entry.byPhase.begin()->second, phaseIdx);
+          entry.byPhase.emplace(phaseIdx, restamped);
+          return restamped;
+        }
+      }
+    }
+    noteProbe(idx, false, steps == 0 ? 1 : steps);
+    return nullptr;
   }
 
-  void store(const std::string& key, const PhaseArrayInfo& info) {
+  void store(const PhaseKey& key, std::size_t phaseIdx,
+             const std::shared_ptr<const PhaseArrayInfo>& info) {
     const std::size_t idx = shardIndexFor(key);
     Shard& shard = shards_[idx];
     obs::ShardLock lock(shard.mu, obs::ShardFamily::kPhaseInfo, idx);
-    shard.infos.emplace(key, info);
+    auto& bucket = shard.infos[key.hash];
+    for (Entry& entry : bucket) {
+      if (entry.text == key.text) {
+        entry.byPhase.try_emplace(phaseIdx, info);  // racing writer beat us; same value
+        return;
+      }
+    }
+    Entry entry;
+    entry.text = key.text;
+    entry.byPhase.emplace(phaseIdx, info);
+    bucket.push_back(std::move(entry));
   }
 
   void clear() {
@@ -155,14 +191,32 @@ class PhaseArrayMemo {
 
  private:
   static constexpr std::size_t kShards = 16;
+  /// One structural phase; `byPhase` holds the canonical node plus its
+  /// re-stamped variants, one per program position the phase was seen at.
+  struct Entry {
+    std::string text;
+    std::map<std::size_t, std::shared_ptr<const PhaseArrayInfo>> byPhase;
+  };
+  /// Copy of `src` with the embedded phase index replaced; only the
+  /// descriptors carry the index, the terms are position-independent.
+  [[nodiscard]] static std::shared_ptr<const PhaseArrayInfo> restampedVariant(
+      const PhaseArrayInfo& src, std::size_t phaseIdx) {
+    auto out = std::make_shared<PhaseArrayInfo>(src);
+    out->phase = phaseIdx;
+    out->pd = desc::PhaseDescriptor(src.pd.array(), phaseIdx,
+                                    std::vector<desc::PDTerm>(src.pd.terms()));
+    out->id = desc::IterationDescriptor(src.id.array(), phaseIdx,
+                                        std::vector<desc::IDTerm>(src.id.terms()));
+    return out;
+  }
   struct alignas(64) Shard {
     std::mutex mu;
-    std::map<std::string, PhaseArrayInfo> infos;
+    std::map<std::uint64_t, std::vector<Entry>> infos;
   };
-  [[nodiscard]] static std::size_t shardIndexFor(const std::string& key) {
-    return std::hash<std::string>{}(key) % kShards;
+  [[nodiscard]] static std::size_t shardIndexFor(const PhaseKey& key) {
+    return key.hash % kShards;
   }
-  static void noteProbe(std::size_t idx, bool hit) {
+  static void noteProbe(std::size_t idx, bool hit, std::size_t steps) {
     static obs::Counter& hits = obs::metrics().counter("ad.loc.phase_hits");
     static obs::Counter& misses = obs::metrics().counter("ad.loc.phase_misses");
     (hit ? hits : misses).add(1);
@@ -170,6 +224,7 @@ class PhaseArrayMemo {
     if (!p.enabled()) return;
     obs::ShardStats& stats = p.shard(obs::ShardFamily::kPhaseInfo, idx);
     (hit ? stats.hits : stats.misses).fetch_add(1, std::memory_order_relaxed);
+    stats.probeSteps.fetch_add(static_cast<std::int64_t>(steps), std::memory_order_relaxed);
   }
   Shard shards_[kShards];
 };
@@ -182,33 +237,46 @@ class PhaseArrayMemo {
 /// reads it, so structurally identical phases hit the same entry wherever
 /// they sit — in one code or across codes — and the hit path re-stamps the
 /// index into the returned descriptors.
-std::string phaseArrayKey(const ir::Program& program, std::size_t phaseIdx,
-                          const std::string& array, const sym::Assumptions& assumptions) {
+PhaseKey phaseArrayKey(const ir::Program& program, std::size_t phaseIdx,
+                       const std::string& array, const sym::Assumptions& assumptions) {
   const ir::Phase& phase = program.phase(phaseIdx);
-  std::string key = sym::serializeAssumptions(assumptions);
-  key += '#';
-  key += array;
-  key += phase.isPrivatized(array) ? "#P" : "#-";
+  const sym::Assumptions::MemoKey& base = assumptions.memoKey();  // cached, not rebuilt
+  PhaseKey out;
+  out.text = base.text;
+  out.text += '#';
+  out.text += array;
+  out.text += phase.isPrivatized(array) ? "#P" : "#-";
   for (const auto& loop : phase.loops()) {
-    key += 'l';
-    key += std::to_string(loop.index);
-    key += loop.parallel ? '*' : '.';
-    sym::serializeExpr(loop.lower, key);
-    sym::serializeExpr(loop.upper, key);
+    out.text += 'l';
+    out.text += std::to_string(loop.index);
+    out.text += loop.parallel ? '*' : '.';
+    sym::serializeExpr(loop.lower, out.text);
+    sym::serializeExpr(loop.upper, out.text);
   }
   for (const auto& ref : phase.refsTo(array)) {
-    key += ref.kind == ir::AccessKind::kRead ? 'r' : 'w';
-    sym::serializeExpr(ref.subscript, key);
+    out.text += ref.kind == ir::AccessKind::kRead ? 'r' : 'w';
+    sym::serializeExpr(ref.subscript, out.text);
   }
-  return key;
+  // FNV-1a is sequential, so continuing from the cached prefix hash over the
+  // suffix bytes equals hashing the full key — without retouching the prefix.
+  std::uint64_t h = base.hash;
+  for (std::size_t i = base.text.size(); i < out.text.size(); ++i) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(out.text[i]));
+    h *= 1099511628211ULL;
+  }
+  // Under the degenerate-hash hook this cache collapses to one shard/bucket
+  // like the interner, so the hash-quality tests cover it too.
+  out.hash = sym::detail::degenerateHashForced() ? 0 : h;
+  return out;
 }
 
 }  // namespace
 
 void clearPhaseArrayMemo() { PhaseArrayMemo::global().clear(); }
 
-PhaseArrayInfo analyzePhaseArray(const ir::Program& program, std::size_t phaseIdx,
-                                 const std::string& array) {
+std::shared_ptr<const PhaseArrayInfo> analyzePhaseArrayShared(const ir::Program& program,
+                                                              std::size_t phaseIdx,
+                                                              const std::string& array) {
   obs::Span span("locality.analyze_phase_array", "analysis");
   const ir::Phase& phase = program.phase(phaseIdx);
   const sym::Assumptions assumptions = phase.assumptions(program.symbols());
@@ -216,22 +284,10 @@ PhaseArrayInfo analyzePhaseArray(const ir::Program& program, std::size_t phaseId
   // legs and memo-sensitive tests stay honest). Cached values were computed
   // with an unexhausted budget, so serving them under any budget is sound.
   const bool memoized = sym::ProofMemo::enabled();
-  std::string key;
+  PhaseKey key;
   if (memoized) {
     key = phaseArrayKey(program, phaseIdx, array, assumptions);
-    if (auto cached = PhaseArrayMemo::global().lookup(key)) {
-      PhaseArrayInfo info = *std::move(cached);
-      if (info.phase != phaseIdx) {
-        // The entry was computed for a structurally identical phase at a
-        // different position; only the embedded index needs re-stamping.
-        info.phase = phaseIdx;
-        info.pd = desc::PhaseDescriptor(info.pd.array(), phaseIdx,
-                                        std::vector<desc::PDTerm>(info.pd.terms()));
-        info.id = desc::IterationDescriptor(info.id.array(), phaseIdx,
-                                            std::vector<desc::IDTerm>(info.id.terms()));
-      }
-      return info;
-    }
+    if (auto cached = PhaseArrayMemo::global().lookup(key, phaseIdx)) return cached;
   }
   const sym::RangeAnalyzer ra(assumptions);
 
@@ -259,12 +315,18 @@ PhaseArrayInfo analyzePhaseArray(const ir::Program& program, std::size_t phaseId
   } else {
     info.parallelTrip = Expr::constant(1);
   }
+  auto node = std::make_shared<const PhaseArrayInfo>(std::move(info));
   // Never cache a result shaped by an exhausted budget: later unlimited runs
   // must not inherit its conservative simplifications.
   if (memoized && !support::budgetCompromised()) {
-    PhaseArrayMemo::global().store(key, info);
+    PhaseArrayMemo::global().store(key, phaseIdx, node);
   }
-  return info;
+  return node;
+}
+
+PhaseArrayInfo analyzePhaseArray(const ir::Program& program, std::size_t phaseIdx,
+                                 const std::string& array) {
+  return *analyzePhaseArrayShared(program, phaseIdx, array);
 }
 
 // ---------------------------------------------------------------------------
@@ -456,28 +518,34 @@ std::optional<BalancedCondition::SymbolicFamily> BalancedCondition::solveSymboli
   if (slopeK.isZero() || slopeG.isZero()) return std::nullopt;
 
   // Orientation 1: slopeK divides slopeG — pk = r*t + c/slopeK, pg = t.
-  if (auto r = Expr::divideExact(slopeG, slopeK);
-      r && ra.proveIntegerValued(*r) && ra.provePositive(*r)) {
-    const auto cK = Expr::divideExact(c, slopeK);
-    if (cK && ra.proveIntegerValued(*cK)) {
-      // t >= ceil((1 - cK)/r) keeps pk >= 1.
-      const auto tlo = symbolicCeilDiv(Expr::constant(1) - *cK, *r, ra);
-      if (tlo) {
-        if (const auto tmin = atLeastOne(*tlo, ra)) {
-          return SymbolicFamily{*r * *tmin + *cK, *tmin, *r, Expr::constant(1)};
+  if (auto r = Expr::divideExact(slopeG, slopeK)) {
+    // One arena handle feeds both predicates: the ratio is interned once and
+    // each memo probe is a pointer lookup.
+    const sym::InternedExpr rh = sym::ExprIntern::global().intern(*r);
+    if (ra.proveIntegerValued(rh) && ra.provePositive(rh)) {
+      const auto cK = Expr::divideExact(c, slopeK);
+      if (cK && ra.proveIntegerValued(*cK)) {
+        // t >= ceil((1 - cK)/r) keeps pk >= 1.
+        const auto tlo = symbolicCeilDiv(Expr::constant(1) - *cK, *r, ra);
+        if (tlo) {
+          if (const auto tmin = atLeastOne(*tlo, ra)) {
+            return SymbolicFamily{*r * *tmin + *cK, *tmin, *r, Expr::constant(1)};
+          }
         }
       }
     }
   }
   // Orientation 2: slopeG divides slopeK — pk = t, pg = r*t - c/slopeG.
-  if (auto r = Expr::divideExact(slopeK, slopeG);
-      r && ra.proveIntegerValued(*r) && ra.provePositive(*r)) {
-    const auto cG = Expr::divideExact(c, slopeG);
-    if (cG && ra.proveIntegerValued(*cG)) {
-      const auto tlo = symbolicCeilDiv(Expr::constant(1) + *cG, *r, ra);
-      if (tlo) {
-        if (const auto tmin = atLeastOne(*tlo, ra)) {
-          return SymbolicFamily{*tmin, *r * *tmin - *cG, Expr::constant(1), *r};
+  if (auto r = Expr::divideExact(slopeK, slopeG)) {
+    const sym::InternedExpr rh = sym::ExprIntern::global().intern(*r);
+    if (ra.proveIntegerValued(rh) && ra.provePositive(rh)) {
+      const auto cG = Expr::divideExact(c, slopeG);
+      if (cG && ra.proveIntegerValued(*cG)) {
+        const auto tlo = symbolicCeilDiv(Expr::constant(1) + *cG, *r, ra);
+        if (tlo) {
+          if (const auto tmin = atLeastOne(*tlo, ra)) {
+            return SymbolicFamily{*tmin, *r * *tmin - *cG, Expr::constant(1), *r};
+          }
         }
       }
     }

@@ -7,6 +7,7 @@
 // Delta_d / Delta_r constraints of Table 2.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -77,6 +78,15 @@ struct PhaseArrayInfo {
 /// under family "loc.phase_array").
 [[nodiscard]] PhaseArrayInfo analyzePhaseArray(const ir::Program& program, std::size_t phaseIdx,
                                                const std::string& array);
+
+/// Shared-node variant: the engine's hot path. A memo hit hands back the
+/// cached immutable node itself — pointer identity, no deep copy of the
+/// descriptors — and a structurally identical phase at a different position
+/// gets its re-stamped variant built once and then shared too. Consumers
+/// (lcg::Node, ILP, serialization) hold the node read-only; with the memo
+/// disabled this computes a fresh node, so the legacy engine is unchanged.
+[[nodiscard]] std::shared_ptr<const PhaseArrayInfo> analyzePhaseArrayShared(
+    const ir::Program& program, std::size_t phaseIdx, const std::string& array);
 
 /// Drops every memoized analyzePhaseArray result (bench legs use this next
 /// to ProofMemo::clear() so cold-start timings are genuinely cold).

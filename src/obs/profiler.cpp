@@ -81,6 +81,7 @@ void Profiler::reset() {
       s.lockWaitUs.store(0, std::memory_order_relaxed);
       s.hits.store(0, std::memory_order_relaxed);
       s.misses.store(0, std::memory_order_relaxed);
+      s.probeSteps.store(0, std::memory_order_relaxed);
     }
   }
   for (auto& h : lockWait_) h.reset();
@@ -124,7 +125,8 @@ std::string Profiler::summary() const {
          << ", \"acquisitions\": " << acq
          << ", \"contended\": " << s.contended.load(std::memory_order_relaxed)
          << ", \"lock_wait_us\": " << s.lockWaitUs.load(std::memory_order_relaxed)
-         << ", \"hits\": " << hits << ", \"misses\": " << misses << "}";
+         << ", \"hits\": " << hits << ", \"misses\": " << misses
+         << ", \"probe_steps\": " << s.probeSteps.load(std::memory_order_relaxed) << "}";
       firstShard = false;
     }
     os << (firstShard ? "" : "\n    ") << "]";

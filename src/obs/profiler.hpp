@@ -65,6 +65,11 @@ struct alignas(64) ShardStats {
   std::atomic<std::int64_t> lockWaitUs{0};  ///< total contended wait
   std::atomic<std::int64_t> hits{0};
   std::atomic<std::int64_t> misses{0};
+  /// Total open-addressing slots inspected across all probes of this shard;
+  /// probeSteps / (hits + misses) is the mean probe length, the direct
+  /// health check of the hash-consed tables (≈1 when the cached hashes
+  /// spread well, table-sized under the degenerate-hash test hook).
+  std::atomic<std::int64_t> probeSteps{0};
 };
 
 /// The sharded structures the profiler knows how to attribute. Fixed enum —

@@ -1,6 +1,8 @@
 #include "symbolic/intern.hpp"
 
-#include <functional>
+#include <algorithm>
+#include <set>
+#include <utility>
 
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
@@ -75,46 +77,248 @@ std::string serializeAssumptions(const Assumptions& a) {
   return out;
 }
 
+std::string serializeAssumptionsSlice(const Assumptions& a, const Expr& e) {
+  // Closure seeds: the query's free symbols and every fact's (the
+  // fact-combination step can rewrite any query against any fact). Then
+  // close over bound expressions: eliminating a symbol substitutes its
+  // bounds, whose symbols the recursion reads next.
+  std::set<SymbolId> closed;
+  std::vector<SymbolId> work = e.freeSymbols();
+  for (const Expr& f : a.facts()) {
+    const auto fs = f.freeSymbols();
+    work.insert(work.end(), fs.begin(), fs.end());
+  }
+  while (!work.empty()) {
+    const SymbolId id = work.back();
+    work.pop_back();
+    if (!closed.insert(id).second) continue;
+    for (const auto& b : {a.lower(id), a.upper(id)}) {
+      if (!b) continue;
+      for (SymbolId s : b->freeSymbols()) {
+        if (closed.count(s) == 0) work.push_back(s);
+      }
+    }
+  }
+  // '@' keeps slice keys disjoint from full-assumptions keys in the shared
+  // context registry (full keys never start with it). Symbol ids are
+  // explicit here — a slice is a sparse subset, not a dense table scan.
+  std::string out = "@";
+  const SymbolTable& table = a.table();
+  for (SymbolId id : closed) {  // std::set: ascending, deterministic
+    out += 's';
+    out += std::to_string(id);
+    out += 'k';
+    out += std::to_string(static_cast<int>(table.kind(id)));
+    if (const auto lo = a.lower(id)) {
+      out += 'L';
+      serializeExpr(*lo, out);
+    }
+    if (const auto hi = a.upper(id)) {
+      out += 'U';
+      serializeExpr(*hi, out);
+    }
+    out += '|';
+  }
+  for (const Expr& f : a.facts()) {
+    out += 'F';
+    serializeExpr(f, out);
+  }
+  return out;
+}
+
+namespace {
+
+std::uint64_t fnv1aBytes(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const Assumptions::MemoKey& Assumptions::memoKey() const {
+  if (!memoKey_) {
+    auto key = std::make_shared<MemoKey>();
+    key->text = serializeAssumptions(*this);
+    key->hash = fnv1aBytes(key->text);
+    memoKey_ = std::move(key);
+  }
+  return *memoKey_;
+}
+
 // ---------------------------------------------------------------------------
 // ExprIntern
 // ---------------------------------------------------------------------------
+
+namespace detail {
+std::atomic<bool> gDegenerateHash{false};
+}  // namespace detail
+
+namespace {
+
+/// Deep heap footprint of one stored normal form (vectors by capacity, plus
+/// nested pow2 exponents). Approximate by design — it feeds a gauge, not an
+/// allocator.
+std::size_t exprFootprint(const Expr& e) {
+  std::size_t b = e.terms().capacity() * sizeof(Monomial);
+  for (const auto& m : e.terms()) {
+    b += m.symbols().capacity() * sizeof(SymbolFactor);
+    if (m.hasPow2()) b += sizeof(Expr) + exprFootprint(m.pow2Exponent());
+  }
+  return b;
+}
+
+/// Probe start for a shard-local table. The low log2(kShards) bits of the
+/// hash are constant within a shard (they selected it), so start from the
+/// bits above them or every entry would cluster in two slots.
+std::size_t probeStart(std::uint64_t hash, std::size_t mask) {
+  return static_cast<std::size_t>(hash >> 6) & mask;
+}
+
+void insertInternSlot(std::vector<const detail::InternNode*>& slots,
+                      const detail::InternNode* node) {
+  const std::size_t mask = slots.size() - 1;
+  std::size_t slot = probeStart(node->hash, mask);
+  while (slots[slot] != nullptr) slot = (slot + 1) & mask;
+  slots[slot] = node;
+}
+
+}  // namespace
 
 ExprIntern& ExprIntern::global() {
   static ExprIntern instance;
   return instance;
 }
 
-std::shared_ptr<const Expr> ExprIntern::intern(const Expr& e) {
-  const std::size_t idx = fingerprintExpr(e) % kShards;
+template <typename E>
+InternedExpr ExprIntern::internImpl(E&& e) {
+  const std::uint64_t h = internHash(e);
+  const std::size_t idx = static_cast<std::size_t>(h % kShards);
   Shard& shard = shards_[idx];
   const bool profiled = obs::profiler().enabled();
   obs::ShardLock lock(shard.mu, obs::ShardFamily::kExprIntern, idx);
-  auto it = shard.byValue.find(e);
-  const bool hit = it != shard.byValue.end();
-  if (!hit) {
-    it = shard.byValue.emplace(e, std::make_shared<const Expr>(e)).first;
+
+  std::size_t bytesDelta = 0;
+  if (shard.slots.empty()) {
+    shard.slots.assign(kInitialSlots, nullptr);
+    bytesDelta += kInitialSlots * sizeof(const detail::InternNode*);
+  }
+
+  // Linear probe; the cached hash rejects almost every non-match before the
+  // structural compare, and under the degenerate-hash hook the structural
+  // compare alone disambiguates (slower, never wrong).
+  std::size_t mask = shard.slots.size() - 1;
+  std::size_t slot = probeStart(h, mask);
+  std::size_t steps = 0;
+  const detail::InternNode* found = nullptr;
+  while (shard.slots[slot] != nullptr) {
+    ++steps;
+    const detail::InternNode* cand = shard.slots[slot];
+    if (cand->hash == h && cand->expr == e) {
+      found = cand;
+      break;
+    }
+    slot = (slot + 1) & mask;
+  }
+  if (steps == 0) steps = 1;  // an empty first slot still costs one inspection
+  const bool hit = found != nullptr;
+
+  if (found == nullptr) {
+    // Grow at 70% occupancy so probes stay short.
+    if ((shard.count + 1) * kGrowDen > shard.slots.size() * kGrowNum) {
+      std::vector<const detail::InternNode*> next(shard.slots.size() * 2, nullptr);
+      for (const detail::InternNode* n : shard.slots) {
+        if (n != nullptr) insertInternSlot(next, n);
+      }
+      bytesDelta += (next.size() - shard.slots.size()) * sizeof(const detail::InternNode*);
+      shard.slots = std::move(next);
+      mask = shard.slots.size() - 1;
+    }
+    // Bump-allocate the node from the shard's current slab.
+    if (shard.chunks.empty() || shard.lastChunkUsed == kChunkNodes) {
+      shard.chunks.push_back(std::make_unique<detail::InternNode[]>(kChunkNodes));
+      shard.lastChunkUsed = 0;
+      bytesDelta += kChunkNodes * sizeof(detail::InternNode);
+    }
+    detail::InternNode* node = &shard.chunks.back()[shard.lastChunkUsed++];
+    node->hash = h;
+    node->expr = std::forward<E>(e);  // the one and only copy (or move)
+    insertInternSlot(shard.slots, node);
+    ++shard.count;
+    bytesDelta += exprFootprint(node->expr);
+    shard.bytes += bytesDelta;
+    found = node;
+
     static obs::Gauge& exprs = obs::metrics().gauge("ad.intern.exprs");
     exprs.set(static_cast<std::int64_t>(count_.fetch_add(1, std::memory_order_relaxed)) + 1);
+    static obs::Gauge& bytes = obs::metrics().gauge("ad.intern.bytes");
+    bytes.set(static_cast<std::int64_t>(bytes_.fetch_add(bytesDelta, std::memory_order_relaxed) +
+                                        bytesDelta));
   }
+
   if (profiled) {
     obs::ShardStats& stats = obs::profiler().shard(obs::ShardFamily::kExprIntern, idx);
     (hit ? stats.hits : stats.misses).fetch_add(1, std::memory_order_relaxed);
+    stats.probeSteps.fetch_add(steps, std::memory_order_relaxed);
   }
-  return it->second;
+  return InternedExpr(found);
 }
 
+InternedExpr ExprIntern::intern(const Expr& e) { return internImpl(e); }
+InternedExpr ExprIntern::intern(Expr&& e) { return internImpl(std::move(e)); }
+
 std::size_t ExprIntern::size() const {
-  // Atomic mirror of the per-shard map sizes: readable without touching any
-  // shard lock (summing the maps directly would race their writers).
+  // Atomic mirror of the per-shard counts: readable without touching any
+  // shard lock (summing the shards directly would race their writers).
   return count_.load(std::memory_order_relaxed);
 }
 
+std::size_t ExprIntern::bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+ExprIntern::TableStats ExprIntern::tableStats() const {
+  TableStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.exprs += shard.count;
+    out.bytes += shard.bytes;
+    out.slots += shard.slots.size();
+  }
+  return out;
+}
+
 void ExprIntern::clear() {
+  // The proof memo keys entries by node pointers into this arena; drop it
+  // first so nothing can hit a dangling key while the slabs are freed.
+  ProofMemo::global().clear();
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.byValue.clear();
+    shard.slots.clear();
+    shard.chunks.clear();
+    shard.lastChunkUsed = 0;
+    shard.count = 0;
+    shard.bytes = 0;
   }
   count_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+  obs::metrics().gauge("ad.intern.exprs").set(0);
+  obs::metrics().gauge("ad.intern.bytes").set(0);
+}
+
+DegenerateHashGuard::DegenerateHashGuard()
+    : previous_(detail::gDegenerateHash.load(std::memory_order_relaxed)) {
+  // Nodes interned under one hash regime are unfindable under the other, so
+  // the arena (and with it the pointer-keyed memo) restarts cold on both
+  // edges of the guard.
+  ExprIntern::global().clear();
+  detail::gDegenerateHash.store(true, std::memory_order_relaxed);
+}
+
+DegenerateHashGuard::~DegenerateHashGuard() {
+  detail::gDegenerateHash.store(previous_, std::memory_order_relaxed);
+  ExprIntern::global().clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -123,81 +327,167 @@ void ExprIntern::clear() {
 
 namespace {
 
-/// Per-shard hit/miss attribution for the profiler ("memo.context" family);
-/// one relaxed load when disabled.
-void noteMemoProbe(std::size_t idx, bool hit) {
+/// Distinct probe sequences for the same expression under different ops, so
+/// e.g. kNonNegative and kPositive entries for one node don't chain onto
+/// each other.
+std::uint64_t mixOp(std::uint64_t hash, ProofMemoContext::Op op) {
+  return hash ^ ((static_cast<std::uint64_t>(op) + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
+/// Per-shard hit/miss + probe-length attribution for the profiler
+/// ("memo.context" family); one relaxed load when disabled.
+void noteMemoProbe(std::size_t idx, bool hit, std::size_t steps) {
   obs::Profiler& p = obs::profiler();
   if (!p.enabled()) return;
   obs::ShardStats& stats = p.shard(obs::ShardFamily::kMemoContext, idx);
   (hit ? stats.hits : stats.misses).fetch_add(1, std::memory_order_relaxed);
+  stats.probeSteps.fetch_add(steps, std::memory_order_relaxed);
 }
 
 }  // namespace
 
-std::optional<bool> ProofMemoContext::lookupBool(Op op, const Expr& e) {
+template <typename Value>
+const Value* ProofMemoContext::OpPtrTable<Value>::find(Op op, const InternedExpr& e,
+                                                       std::size_t& steps) const {
+  steps = 1;
+  if (slots.empty()) return nullptr;
+  const std::size_t mask = slots.size() - 1;
+  std::size_t slot = static_cast<std::size_t>(mixOp(e.hash(), op) >> 6) & mask;
+  while (slots[slot].node != nullptr) {
+    const Slot& s = slots[slot];
+    if (s.node == e.node_ && s.op == op) return &s.value;
+    slot = (slot + 1) & mask;
+    ++steps;
+  }
+  return nullptr;
+}
+
+template <typename Value>
+void ProofMemoContext::OpPtrTable<Value>::insert(Op op, const InternedExpr& e, Value value) {
+  if (slots.empty()) slots.resize(16);
+  if ((count + 1) * 10 > slots.size() * 7) grow();
+  const std::size_t mask = slots.size() - 1;
+  std::size_t slot = static_cast<std::size_t>(mixOp(e.hash(), op) >> 6) & mask;
+  while (slots[slot].node != nullptr) {
+    // Two workers can race to publish the same (context, query) answer; the
+    // purity contract makes the values identical, first writer wins.
+    if (slots[slot].node == e.node_ && slots[slot].op == op) return;
+    slot = (slot + 1) & mask;
+  }
+  slots[slot] = Slot{e.node_, op, std::move(value)};
+  ++count;
+}
+
+template <typename Value>
+void ProofMemoContext::OpPtrTable<Value>::grow() {
+  std::vector<Slot> old = std::move(slots);
+  slots.assign(old.size() * 2, Slot{});
+  const std::size_t mask = slots.size() - 1;
+  for (Slot& s : old) {
+    if (s.node == nullptr) continue;
+    std::size_t slot = static_cast<std::size_t>(mixOp(s.node->hash, s.op) >> 6) & mask;
+    while (slots[slot].node != nullptr) slot = (slot + 1) & mask;
+    slots[slot] = std::move(s);
+  }
+}
+
+std::optional<bool> ProofMemoContext::lookupBool(Op op, const InternedExpr& e) {
   const std::size_t idx = shardIndexFor(e);
   Shard& shard = shards_[idx];
   obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoContext, idx);
-  if (auto it = shard.bools.find(Key{op, e}); it != shard.bools.end()) {
-    noteMemoProbe(idx, true);
-    return it->second;
+  std::size_t steps = 0;
+  if (const bool* v = shard.bools.find(op, e, steps)) {
+    noteMemoProbe(idx, true, steps);
+    return *v;
   }
-  noteMemoProbe(idx, false);
+  noteMemoProbe(idx, false, steps);
   return std::nullopt;
 }
 
-void ProofMemoContext::storeBool(Op op, const Expr& e, bool value) {
+void ProofMemoContext::storeBool(Op op, const InternedExpr& e, bool value) {
   const std::size_t idx = shardIndexFor(e);
   Shard& shard = shards_[idx];
   obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoContext, idx);
-  shard.bools.emplace(Key{op, e}, value);
+  shard.bools.insert(op, e, value);
 }
 
-std::optional<std::optional<int>> ProofMemoContext::lookupSign(const Expr& e) {
+std::optional<std::optional<int>> ProofMemoContext::lookupSign(const InternedExpr& e) {
   const std::size_t idx = shardIndexFor(e);
   Shard& shard = shards_[idx];
   obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoContext, idx);
-  if (auto it = shard.signs.find(e); it != shard.signs.end()) {
-    noteMemoProbe(idx, true);
-    return it->second;
+  std::size_t steps = 0;
+  if (const std::optional<int>* v = shard.signs.find(Op::kSign, e, steps)) {
+    noteMemoProbe(idx, true, steps);
+    return *v;
   }
-  noteMemoProbe(idx, false);
+  noteMemoProbe(idx, false, steps);
   return std::nullopt;
 }
 
-void ProofMemoContext::storeSign(const Expr& e, std::optional<int> value) {
+void ProofMemoContext::storeSign(const InternedExpr& e, std::optional<int> value) {
   const std::size_t idx = shardIndexFor(e);
   Shard& shard = shards_[idx];
   obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoContext, idx);
-  shard.signs.emplace(e, value);
+  shard.signs.insert(Op::kSign, e, value);
 }
 
-std::optional<std::optional<Expr>> ProofMemoContext::lookupExpr(Op op, const Expr& e) {
+std::optional<std::optional<Expr>> ProofMemoContext::lookupExpr(Op op, const InternedExpr& e) {
   const std::size_t idx = shardIndexFor(e);
   Shard& shard = shards_[idx];
   obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoContext, idx);
-  if (auto it = shard.exprs.find(Key{op, e}); it != shard.exprs.end()) {
-    noteMemoProbe(idx, true);
-    return it->second;
+  std::size_t steps = 0;
+  if (const std::optional<InternedExpr>* v = shard.exprs.find(op, e, steps)) {
+    noteMemoProbe(idx, true, steps);
+    std::optional<std::optional<Expr>> out;
+    out.emplace();                      // found; inner stays nullopt for "no bound"
+    if (*v) out->emplace(*(**v));       // copy out of the interned value node
+    return out;
   }
-  noteMemoProbe(idx, false);
+  noteMemoProbe(idx, false, steps);
   return std::nullopt;
 }
 
-void ProofMemoContext::storeExpr(Op op, const Expr& e, const std::optional<Expr>& value) {
+void ProofMemoContext::storeExpr(Op op, const InternedExpr& e, const std::optional<Expr>& value) {
+  // Bound results recur across queries; interning the value (outside the
+  // shard lock — the arena has its own) dedupes their storage.
+  std::optional<InternedExpr> stored;
+  if (value) stored = ExprIntern::global().intern(*value);
   const std::size_t idx = shardIndexFor(e);
   Shard& shard = shards_[idx];
   obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoContext, idx);
-  shard.exprs.emplace(Key{op, e}, value);
+  shard.exprs.insert(op, e, stored);
 }
 
 std::size_t ProofMemoContext::entries() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    n += shard.bools.size() + shard.signs.size() + shard.exprs.size();
+    n += shard.bools.count + shard.signs.count + shard.exprs.count;
   }
   return n;
+}
+
+bool ProofMemoContext::claimOrWait(Op op, const InternedExpr& e) {
+  const auto key = std::make_pair(op, e.node_);
+  std::unique_lock<std::mutex> lk(inflightMu_);
+  const auto absent = [&] {
+    return std::find(inflight_.begin(), inflight_.end(), key) == inflight_.end();
+  };
+  if (absent()) {
+    inflight_.push_back(key);
+    return true;
+  }
+  inflightCv_.wait(lk, absent);
+  return false;
+}
+
+void ProofMemoContext::release(Op op, const InternedExpr& e) {
+  const auto key = std::make_pair(op, e.node_);
+  {
+    std::lock_guard<std::mutex> lk(inflightMu_);
+    inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), key), inflight_.end());
+  }
+  inflightCv_.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -217,17 +507,45 @@ bool ProofMemo::enabled() { return gMemoEnabled.load(std::memory_order_relaxed);
 void ProofMemo::setEnabled(bool on) { gMemoEnabled.store(on, std::memory_order_relaxed); }
 
 std::shared_ptr<ProofMemoContext> ProofMemo::context(const Assumptions& a) {
-  const std::string key = serializeAssumptions(a);
-  const std::size_t idx = std::hash<std::string>{}(key) % kShards;
+  const Assumptions::MemoKey& key = a.memoKey();  // cached: no rebuild, no allocation
+  return contextFor(detail::degenerateHashForced() ? 0 : key.hash, key.text);
+}
+
+std::shared_ptr<ProofMemoContext> ProofMemo::sliceContext(const Assumptions& a, const Expr& e) {
+  // Built per first-level miss, so the slice serialization is off the hit
+  // path entirely; misses are where the closure walk pays for itself.
+  const std::string text = serializeAssumptionsSlice(a, e);
+  return contextFor(detail::degenerateHashForced() ? 0 : fnv1aBytes(text), text);
+}
+
+std::shared_ptr<ProofMemoContext> ProofMemo::contextFor(std::uint64_t h, const std::string& text) {
+  const std::size_t idx = static_cast<std::size_t>(h % kShards);
   Shard& shard = shards_[idx];
+  const bool profiled = obs::profiler().enabled();
   obs::ShardLock lock(shard.mu, obs::ShardFamily::kMemoRegistry, idx);
-  auto it = shard.contexts.find(key);
-  if (it == shard.contexts.end()) {
-    it = shard.contexts.emplace(key, std::make_shared<ProofMemoContext>()).first;
-    static obs::Gauge& contexts = obs::metrics().gauge("ad.intern.contexts");
-    contexts.set(contextCount_.fetch_add(1, std::memory_order_relaxed) + 1);
+  std::size_t steps = 0;
+  for (Entry& entry : shard.entries) {
+    ++steps;
+    // Hash first: the exact-serialization compare runs only within a hash
+    // match, so a hit costs one string compare and zero allocations.
+    if (entry.hash == h && entry.key == text) {
+      if (profiled) {
+        obs::ShardStats& stats = obs::profiler().shard(obs::ShardFamily::kMemoRegistry, idx);
+        stats.hits.fetch_add(1, std::memory_order_relaxed);
+        stats.probeSteps.fetch_add(steps, std::memory_order_relaxed);
+      }
+      return entry.ctx;
+    }
   }
-  return it->second;
+  shard.entries.push_back(Entry{h, text, std::make_shared<ProofMemoContext>()});
+  if (profiled) {
+    obs::ShardStats& stats = obs::profiler().shard(obs::ShardFamily::kMemoRegistry, idx);
+    stats.misses.fetch_add(1, std::memory_order_relaxed);
+    stats.probeSteps.fetch_add(steps == 0 ? 1 : steps, std::memory_order_relaxed);
+  }
+  static obs::Gauge& contexts = obs::metrics().gauge("ad.intern.contexts");
+  contexts.set(contextCount_.fetch_add(1, std::memory_order_relaxed) + 1);
+  return shard.entries.back().ctx;
 }
 
 ProofMemo::Stats ProofMemo::stats() const {
@@ -241,7 +559,7 @@ ProofMemo::Stats ProofMemo::stats() const {
 void ProofMemo::clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.contexts.clear();
+    shard.entries.clear();
   }
   contextCount_.store(0, std::memory_order_relaxed);
   hits_.store(0, std::memory_order_relaxed);

@@ -1,4 +1,5 @@
-// Interned symbolic expressions and the memoized proof/simplification cache.
+// Hash-consed symbolic expressions and the memoized proof/simplification
+// cache.
 //
 // The descriptor algebra asks the RangeAnalyzer the same questions over and
 // over: every (phase, array) pair of a code rebuilds an analyzer over the
@@ -7,40 +8,56 @@
 // across arrays, phases, codes, and processor counts. This module
 // deduplicates that work process-wide:
 //
-//  - ExprIntern: a sharded arena of canonical Expr instances, keyed by the
-//    normal form, so repeated stride/offset expressions are materialized once
-//    and memo tables share storage.
+//  - ExprIntern: a sharded hash-consing arena. Each distinct normal form is
+//    materialized exactly once as an immutable node in a bump-allocated
+//    chunk, found through a per-shard open-addressing table keyed by a
+//    structural hash that is computed once at intern time and cached on the
+//    node. The handle type, InternedExpr, is a stable pointer: interned
+//    equality is pointer comparison and hashing is one cached-word read,
+//    which is what makes the memo tables below O(1) probes instead of
+//    O(log n) structural tree compares.
 //
 //  - ProofMemo: a registry of per-context caches of RangeAnalyzer results.
 //    A "context" is the exact serialization of an Assumptions set (symbol
 //    kinds, effective bounds, facts) — two analyzers with identical
 //    serializations are behaviorally identical, so their answers are
-//    interchangeable. Each cached value is computed from *fresh* scratch
-//    state with the full depth budget (see RangeAnalyzer), making it a pure
-//    function of (context, query): hits return byte-identical answers at any
-//    thread count and interleaving, which is what lets the parallel engine
-//    be proven output-identical to the serial one.
+//    interchangeable. The serialization and its hash are computed once per
+//    Assumptions instance (Assumptions::memoKey) and the registry probes by
+//    that cached hash, so the hit path allocates nothing. Each cached value
+//    is computed from *fresh* scratch state with the full depth budget (see
+//    RangeAnalyzer), making it a pure function of (context, query): hits
+//    return byte-identical answers at any thread count and interleaving,
+//    which is what lets the parallel engine be proven output-identical to
+//    the serial one.
+//
+// Correctness never keys on the hash alone: every probe confirms candidates
+// structurally (interner) or by pointer identity (memo), so a degenerate
+// hash only degrades probes to linear scans. DegenerateHashGuard forces
+// exactly that in tests.
 //
 // Both structures are sharded and mutex-protected (safe under TSan); cache
 // traffic is exported to the ad.metrics.v1 registry as
 // ad.intern.proof_hits / ad.intern.proof_misses / ad.intern.contexts /
-// ad.intern.exprs.
+// ad.intern.exprs / ad.intern.bytes, and the contention profiler attributes
+// per-shard hits/misses/probe lengths (families "intern.expr",
+// "memo.context", "memo.registry").
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "symbolic/ranges.hpp"
 
 namespace ad::sym {
 
-/// Deterministic structural fingerprint of a normal form (used to pick
-/// shards; collisions are fine — correctness never keys on it alone).
+/// Deterministic structural fingerprint of a normal form (the hash cached on
+/// arena nodes; collisions are fine — correctness never keys on it alone).
 [[nodiscard]] std::uint64_t fingerprintExpr(const Expr& e);
 
 /// Canonical serialization of a normal form over symbol ids. Injective:
@@ -50,7 +67,73 @@ void serializeExpr(const Expr& e, std::string& out);
 /// Exact serialization of everything a RangeAnalyzer reads from an
 /// Assumptions set: per-symbol kind and effective lower/upper bounds, plus
 /// the registered facts. Equal strings => behaviorally identical provers.
+/// Hot paths should use Assumptions::memoKey(), which caches this.
 [[nodiscard]] std::string serializeAssumptions(const Assumptions& a);
+
+/// Serialization of the assumptions *slice* a query on `e` can read: the
+/// transitive closure of `e`'s and every fact's free symbols through their
+/// effective bound expressions (substitution surfaces exactly those), each
+/// with its kind and bounds, plus the facts themselves (fact combination can
+/// involve any of them). Every path through the RangeAnalyzer's recursion
+/// reads assumptions only inside this closure, so two assumption sets with
+/// equal slices are indistinguishable to the prover *for queries on `e`* —
+/// their answers are interchangeable even when the full serializations
+/// differ (other arrays' bounds, other loops' symbols).
+[[nodiscard]] std::string serializeAssumptionsSlice(const Assumptions& a, const Expr& e);
+
+namespace detail {
+
+/// One immutable arena node: the canonical Expr plus its structural hash,
+/// cached at intern time so handle hashing is a single word read.
+struct InternNode {
+  std::uint64_t hash = 0;
+  Expr expr;
+};
+
+/// Test hook: when set, every intern-time hash collapses to one value, so
+/// all expressions land in one shard and one probe cluster. Output must not
+/// change (the tables fall back to structural / pointer comparison).
+extern std::atomic<bool> gDegenerateHash;
+
+[[nodiscard]] inline bool degenerateHashForced() {
+  return gDegenerateHash.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+/// The hash used for shard selection and table probes (fingerprint, or the
+/// degenerate constant under the test hook).
+[[nodiscard]] inline std::uint64_t internHash(const Expr& e) {
+  return detail::degenerateHashForced() ? 0 : fingerprintExpr(e);
+}
+
+// ---------------------------------------------------------------------------
+// InternedExpr
+// ---------------------------------------------------------------------------
+
+/// Stable handle to a hash-consed Expr. Two handles from the same arena
+/// generation compare equal iff the underlying normal forms are equal, so
+/// equality is pointer identity and hash() is one cached-word read. Handles
+/// are invalidated by ExprIntern::clear() (tests and bench legs only).
+class InternedExpr {
+ public:
+  InternedExpr() = default;  ///< null handle
+
+  [[nodiscard]] const Expr& operator*() const noexcept { return node_->expr; }
+  [[nodiscard]] const Expr* operator->() const noexcept { return &node_->expr; }
+  [[nodiscard]] const Expr* get() const noexcept { return node_ ? &node_->expr : nullptr; }
+  [[nodiscard]] std::uint64_t hash() const noexcept { return node_->hash; }
+  [[nodiscard]] explicit operator bool() const noexcept { return node_ != nullptr; }
+
+  /// Pointer identity — the whole point of hash consing.
+  friend bool operator==(const InternedExpr&, const InternedExpr&) = default;
+
+ private:
+  friend class ExprIntern;
+  friend class ProofMemoContext;
+  explicit InternedExpr(const detail::InternNode* node) : node_(node) {}
+  const detail::InternNode* node_ = nullptr;
+};
 
 // ---------------------------------------------------------------------------
 // ExprIntern
@@ -60,32 +143,90 @@ class ExprIntern {
  public:
   static ExprIntern& global();
 
-  /// Canonical shared instance of `e`'s normal form.
-  [[nodiscard]] std::shared_ptr<const Expr> intern(const Expr& e);
+  /// The canonical arena node for `e`'s normal form. The miss path stores
+  /// exactly one node (one copy from the lvalue overload, zero from the
+  /// rvalue one); the hit path allocates nothing.
+  [[nodiscard]] InternedExpr intern(const Expr& e);
+  [[nodiscard]] InternedExpr intern(Expr&& e);
 
   [[nodiscard]] std::size_t size() const;
+  /// Approximate arena footprint: node slabs plus the deep heap footprint of
+  /// the stored Exprs and the open-addressing tables (mirrors the
+  /// ad.intern.bytes gauge).
+  [[nodiscard]] std::size_t bytes() const;
+
+  struct TableStats {
+    std::size_t exprs = 0;  ///< interned nodes
+    std::size_t bytes = 0;  ///< approximate arena footprint
+    std::size_t slots = 0;  ///< open-addressing capacity over all shards
+    [[nodiscard]] double loadFactor() const {
+      return slots == 0 ? 0.0 : static_cast<double>(exprs) / static_cast<double>(slots);
+    }
+  };
+  [[nodiscard]] TableStats tableStats() const;
+
+  /// Drops every node and resets the tables. Outstanding InternedExpr
+  /// handles (and the pointer-keyed proof-memo entries built from them)
+  /// dangle afterwards, so this also clears ProofMemo::global(); callers
+  /// are tests and bench legs that restart cold between runs.
   void clear();
 
  private:
   // 32 cache-line-aligned shards: sized and padded so eight workers interning
   // the suite's stride/offset families rarely collide on a shard, and a
-  // contended shard never false-shares its neighbour's mutex. Lock waits and
-  // hit/miss traffic are attributed per shard by the contention profiler
-  // (obs/profiler.hpp, family "intern.expr").
+  // contended shard never false-shares its neighbour's mutex. Lock waits,
+  // hit/miss traffic, and probe lengths are attributed per shard by the
+  // contention profiler (obs/profiler.hpp, family "intern.expr").
   static constexpr std::size_t kShards = 32;
+  static constexpr std::size_t kInitialSlots = 64;  ///< per shard, power of two
+  static constexpr std::size_t kChunkNodes = 64;    ///< bump-arena slab size
+  // Grow at 70% occupancy: linear probing stays short (mean probe length on
+  // the suite workloads ~1.1, see bench/intern_microbench).
+  static constexpr std::size_t kGrowNum = 7;
+  static constexpr std::size_t kGrowDen = 10;
+
   struct alignas(64) Shard {
     mutable std::mutex mu;
-    std::map<Expr, std::shared_ptr<const Expr>> byValue;
+    std::vector<const detail::InternNode*> slots;           ///< open addressing; null = empty
+    std::vector<std::unique_ptr<detail::InternNode[]>> chunks;  ///< bump-allocated slabs
+    std::size_t lastChunkUsed = 0;  ///< nodes consumed in chunks.back()
+    std::size_t count = 0;
+    std::size_t bytes = 0;
   };
+
+  template <typename E>
+  InternedExpr internImpl(E&& e);
+
   Shard shards_[kShards];
   std::atomic<std::size_t> count_{0};  ///< arena size without cross-shard locks
+  std::atomic<std::size_t> bytes_{0};  ///< footprint mirror of the gauge
+};
+
+/// RAII test hook: forces every intern-time hash to one degenerate value so
+/// all expressions (and all assumptions contexts) collapse into a single
+/// shard/bucket. Clears the arena and proof memo on entry and exit, since
+/// nodes interned under one hash regime are unfindable under the other.
+/// Results must be byte-identical either way — that is the invariant the
+/// golden/differential tests pin under this guard.
+class DegenerateHashGuard {
+ public:
+  DegenerateHashGuard();
+  ~DegenerateHashGuard();
+  DegenerateHashGuard(const DegenerateHashGuard&) = delete;
+  DegenerateHashGuard& operator=(const DegenerateHashGuard&) = delete;
+
+ private:
+  bool previous_;
 };
 
 // ---------------------------------------------------------------------------
 // ProofMemo
 // ---------------------------------------------------------------------------
 
-/// Memoized RangeAnalyzer answers for one assumptions context. Thread-safe.
+/// Memoized RangeAnalyzer answers for one assumptions context, keyed by
+/// (op, interned pointer): open-addressing tables whose probes are one
+/// cached-hash read plus pointer compares — no structural Expr::compare on
+/// any path. Thread-safe.
 class ProofMemoContext {
  public:
   enum class Op : std::uint8_t {
@@ -97,39 +238,74 @@ class ProofMemoContext {
     kLowerBound,     ///< lowerBoundExpr(e)
   };
 
-  [[nodiscard]] std::optional<bool> lookupBool(Op op, const Expr& e);
-  void storeBool(Op op, const Expr& e, bool value);
-  [[nodiscard]] std::optional<std::optional<int>> lookupSign(const Expr& e);
-  void storeSign(const Expr& e, std::optional<int> value);
-  [[nodiscard]] std::optional<std::optional<Expr>> lookupExpr(Op op, const Expr& e);
-  void storeExpr(Op op, const Expr& e, const std::optional<Expr>& value);
+  [[nodiscard]] std::optional<bool> lookupBool(Op op, const InternedExpr& e);
+  void storeBool(Op op, const InternedExpr& e, bool value);
+  [[nodiscard]] std::optional<std::optional<int>> lookupSign(const InternedExpr& e);
+  void storeSign(const InternedExpr& e, std::optional<int> value);
+  [[nodiscard]] std::optional<std::optional<Expr>> lookupExpr(Op op, const InternedExpr& e);
+  void storeExpr(Op op, const InternedExpr& e, const std::optional<Expr>& value);
 
   [[nodiscard]] std::size_t entries() const;
 
+  /// In-flight computation registry: dedupes *concurrent* computes of the
+  /// same (op, node) query, which the lookup-then-store protocol alone cannot
+  /// (two threads that miss together both pay the full proof search — on the
+  /// batch engine's cold leg a single expensive repeat can dominate the
+  /// wall). claimOrWait() returns true when the caller now owns the compute;
+  /// it must release() when done, *after* publishing the result. A false
+  /// return means another thread held the claim and has since released it:
+  /// re-probe the table — it can still miss if the owner was interrupted and
+  /// published nothing, in which case callers loop and claim for themselves.
+  /// Only top-level queries may call this (nested ones compute directly), so
+  /// a claim holder never waits and no circular wait can form.
+  [[nodiscard]] bool claimOrWait(Op op, const InternedExpr& e);
+  void release(Op op, const InternedExpr& e);
+
  private:
-  // Re-sharded 8 -> 32 and cache-line aligned (the profiler's per-shard
-  // lock-wait numbers drove both: eight shards convoyed under eight workers,
-  // and unaligned shards false-shared their mutexes). Shard index i of every
-  // context aggregates into profiler family "memo.context" row i.
+  // 32 shards, cache-line aligned (the profiler's per-shard lock-wait
+  // numbers drove both; see the PR-6 notes in docs/PERF.md). Shard index i
+  // of every context aggregates into profiler family "memo.context" row i.
   static constexpr std::size_t kShards = 32;
-  struct Key {
-    Op op;
-    Expr expr;
-    bool operator<(const Key& o) const {
-      if (op != o.op) return op < o.op;
-      return expr.compare(o.expr) < 0;
-    }
+
+  /// One open-addressing table keyed by (op, node pointer). Linear probing,
+  /// no deletion (clear() drops whole contexts), growth at 70% occupancy.
+  /// Under the degenerate-hash hook every key probes the same cluster and
+  /// the pointer+op compares alone disambiguate — slower, never wrong.
+  template <typename Value>
+  struct OpPtrTable {
+    struct Slot {
+      const detail::InternNode* node = nullptr;  ///< null = empty
+      Op op = Op::kNonNegative;
+      Value value{};
+    };
+    std::vector<Slot> slots;
+    std::size_t count = 0;
+
+    [[nodiscard]] const Value* find(Op op, const InternedExpr& e, std::size_t& steps) const;
+    void insert(Op op, const InternedExpr& e, Value value);
+    void grow();
   };
+
+  [[nodiscard]] std::size_t shardIndexFor(const InternedExpr& e) const {
+    return e.hash() % kShards;
+  }
+
   struct alignas(64) Shard {
     mutable std::mutex mu;
-    std::map<Key, bool> bools;
-    std::map<Expr, std::optional<int>> signs;
-    std::map<Key, std::optional<Expr>> exprs;
+    OpPtrTable<bool> bools;
+    OpPtrTable<std::optional<int>> signs;
+    // Bound results are themselves interned: values recur across queries
+    // (the same bound expression answers many inputs), so the arena shares
+    // their storage. Inner nullopt = "no bound provable", cached as such.
+    OpPtrTable<std::optional<InternedExpr>> exprs;
   };
-  [[nodiscard]] std::size_t shardIndexFor(const Expr& e) const {
-    return fingerprintExpr(e) % kShards;
-  }
   Shard shards_[kShards];
+
+  // In-flight claims. A plain vector: it holds at most one entry per thread
+  // actively computing in this context, so linear scans beat any hashing.
+  std::mutex inflightMu_;
+  std::condition_variable inflightCv_;
+  std::vector<std::pair<Op, const detail::InternNode*>> inflight_;
 };
 
 class ProofMemo {
@@ -142,7 +318,21 @@ class ProofMemo {
   static void setEnabled(bool on);
 
   /// The shared cache for this assumptions context (created on first use).
+  /// Probes by the Assumptions' cached key hash; the hit path allocates
+  /// nothing and compares the cached serialization only within a bucket.
   [[nodiscard]] std::shared_ptr<ProofMemoContext> context(const Assumptions& a);
+
+  /// The context-free sharing layer: the cache for the assumptions *slice* a
+  /// query on `e` can read (serializeAssumptionsSlice). Assumption sets
+  /// whose full serializations differ — other arrays' bounds, other phases'
+  /// loops — still share one slice context whenever the difference is
+  /// invisible to `e`, so a verdict derived under one phase answers the same
+  /// query under every phase that agrees on the relevant symbols. Probed as
+  /// the second level on per-context misses (RangeAnalyzer back-fills the
+  /// first level on a hit); the batch engine's cold legs spend most of their
+  /// prover time on exactly such cross-context repeats.
+  [[nodiscard]] std::shared_ptr<ProofMemoContext> sliceContext(const Assumptions& a,
+                                                               const Expr& e);
 
   struct Stats {
     std::int64_t hits = 0;
@@ -168,11 +358,26 @@ class ProofMemo {
   // The context table is itself sharded: every RangeAnalyzer construction
   // probes it, and a single registry mutex serialized all workers at batch
   // fan-out time (profiler family "memo.registry" showed it as the hottest
-  // lock of the 8-thread run before the split).
+  // lock of the 8-thread run before the split). Buckets are keyed by the
+  // Assumptions' cached hash; entries disambiguate by exact serialization.
   static constexpr std::size_t kShards = 16;
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::string key;
+    std::shared_ptr<ProofMemoContext> ctx;
+  };
+
+  /// Shared registry probe for full-assumptions and slice keys (the two key
+  /// namespaces are disjoint: slice serializations start with '@').
+  [[nodiscard]] std::shared_ptr<ProofMemoContext> contextFor(std::uint64_t hash,
+                                                             const std::string& text);
   struct alignas(64) Shard {
     mutable std::mutex mu;
-    std::map<std::string, std::shared_ptr<ProofMemoContext>> contexts;
+    // Scanned linearly, comparing the cached hash first and the exact
+    // serialization only within a hash match: a handful of contexts live in
+    // each shard (one per distinct assumptions set), and the probe is per
+    // RangeAnalyzer *construction*, not per query.
+    std::vector<Entry> entries;
   };
   Shard shards_[kShards];
   std::atomic<std::int64_t> contextCount_{0};

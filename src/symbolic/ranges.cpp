@@ -1,6 +1,8 @@
 #include "symbolic/ranges.hpp"
 
 #include <algorithm>
+#include <set>
+#include <vector>
 
 #include "support/budget.hpp"
 #include "support/diagnostics.hpp"
@@ -17,6 +19,11 @@ namespace {
 /// shared proof memo, where they would make *later*, unbudgeted runs
 /// conservative too.
 thread_local bool tlProverInterrupted = false;
+// Depth of public prover queries on this thread. Nonzero means we are inside
+// another query's computation; such nested queries must never block on the
+// in-flight claim registry (a claim holder that waited could close a
+// cross-thread cycle), so they compute directly on a shared-table miss.
+thread_local int tlQueryDepth = 0;
 
 /// Charges the current budget for one prover step. False means "stop and
 /// answer Unknown".
@@ -159,6 +166,204 @@ void RangeAnalyzer::resetScratch() const {
 }
 
 // ---------------------------------------------------------------------------
+// RangeAnalyzer — disproof by witness evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Builds one integer point satisfying every assumption a query can read, by
+/// exact rational evaluation of the assumed bounds. Construction is
+/// heuristic, but the finished assignment is re-verified against every bound,
+/// fact, and pow2-parameter link before any value is reported — so a sloppy
+/// heuristic can only fail to produce a witness, never produce a bogus one.
+class WitnessEvaluator {
+ public:
+  explicit WitnessEvaluator(const Assumptions& a) : a_(a) {}
+
+  /// The value of `e` at a verified feasible integer point, or nullopt when
+  /// no such point could be constructed. The point covers the transitive
+  /// closure of free(e) and the facts' free symbols through the assumed
+  /// bounds — exactly the symbols the proof search can read (the same
+  /// closure that defines the slice-memo key).
+  [[nodiscard]] std::optional<Rational> valueAtFeasiblePoint(const Expr& e) {
+    std::vector<SymbolId> work = e.freeSymbols();
+    for (const Expr& f : a_.facts()) {
+      const auto fs = f.freeSymbols();
+      work.insert(work.end(), fs.begin(), fs.end());
+    }
+    std::set<SymbolId> closure;
+    while (!work.empty()) {
+      const SymbolId id = work.back();
+      work.pop_back();
+      if (!closure.insert(id).second) continue;
+      for (const auto& b : {a_.lower(id), a_.upper(id)}) {
+        if (!b) continue;
+        for (SymbolId s : b->freeSymbols())
+          if (closure.count(s) == 0) work.push_back(s);
+      }
+    }
+    assignAll(closure);
+    repairFacts();
+    if (!feasible(closure)) return std::nullopt;
+    return eval(e);
+  }
+
+ private:
+  /// Values stay far below the checked-int overflow edge: every operand is
+  /// capped, and the deepest product chain (power 16, pow2 shift 20) keeps
+  /// intermediates under 2^61.
+  static constexpr std::int64_t kMagnitudeCap = std::int64_t(1) << 20;
+
+  [[nodiscard]] static bool inRange(const Rational& r) {
+    return r.num() < kMagnitudeCap && r.num() > -kMagnitudeCap && r.den() < kMagnitudeCap;
+  }
+
+  void assignAll(const std::set<SymbolId>& closure) {
+    // Bounds may reference other symbols, so sweep to a fixpoint; when a
+    // sweep stalls (cyclic or unbounded symbols), force one small default and
+    // resume. Termination: every round shrinks `pending` by at least one.
+    std::vector<SymbolId> pending(closure.begin(), closure.end());
+    while (!pending.empty()) {
+      bool progress = false;
+      std::vector<SymbolId> next;
+      for (SymbolId id : pending) {
+        if (assignFromBounds(id)) {
+          progress = true;
+        } else {
+          next.push_back(id);
+        }
+      }
+      if (!progress && !next.empty()) {
+        values_[next.front()] = Rational(1);
+        next.erase(next.begin());
+      }
+      pending = std::move(next);
+    }
+  }
+
+  [[nodiscard]] bool assignFromBounds(SymbolId id) {
+    // Sit on the lower bound when it evaluates: domains are tightest there
+    // and small values keep the arithmetic far from the overflow caps.
+    // Rounding keeps the point integral; feasibility re-checks the bound.
+    if (const auto lo = a_.lower(id)) {
+      if (const auto v = eval(*lo)) {
+        values_[id] = Rational(v->ceil());
+        return true;
+      }
+    }
+    if (const auto hi = a_.upper(id)) {
+      if (const auto v = eval(*hi)) {
+        values_[id] = Rational(v->floor());
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void repairFacts() {
+    // Sitting on declared lower bounds can violate facts whose content is
+    // stronger (loop non-emptiness like N - 3 >= 0 while N's declared floor
+    // is 1). For a violated fact that is linear in some assigned symbol with
+    // positive coefficient, raise that symbol just enough; a few sweeps
+    // settle chains. Repairs are heuristic — feasible() re-verifies every
+    // bound and fact afterwards, so an over- or mis-repair only costs the
+    // witness, never correctness.
+    for (int sweep = 0; sweep < 8; ++sweep) {
+      bool repaired = false;
+      for (const Expr& f : a_.facts()) {
+        const auto v = eval(f);
+        if (!v || v->sign() >= 0) continue;
+        for (const Monomial& m : f.terms()) {
+          if (m.hasPow2() || m.symbols().size() != 1) continue;
+          const SymbolFactor& sf = m.symbols().front();
+          if (sf.power != 1 || m.coeff().sign() <= 0) continue;
+          const auto it = values_.find(sf.id);
+          if (it == values_.end()) continue;
+          // f + coeff * delta >= 0  =>  delta = ceil(-value(f) / coeff)
+          it->second += Rational((-*v / m.coeff()).ceil());
+          repaired = true;
+          break;
+        }
+        if (repaired) break;  // re-evaluate all facts against the new point
+      }
+      if (!repaired) return;
+    }
+  }
+
+  [[nodiscard]] std::optional<Rational> eval(const Expr& e) const {
+    Rational sum(0);
+    for (const Monomial& m : e.terms()) {
+      Rational v = m.coeff();
+      for (const SymbolFactor& f : m.symbols()) {
+        const auto it = values_.find(f.id);
+        if (it == values_.end() || f.power > 16) return std::nullopt;
+        for (int i = 0; i < f.power; ++i) {
+          if (!inRange(v) || !inRange(it->second)) return std::nullopt;
+          v *= it->second;
+        }
+      }
+      if (m.hasPow2()) {
+        const auto ev = eval(m.pow2Exponent());
+        if (!ev || !ev->isInteger()) return std::nullopt;
+        const std::int64_t k = ev->asInteger();
+        if (k < -20 || k > 20) return std::nullopt;
+        if (!inRange(v)) return std::nullopt;
+        v *= k >= 0 ? Rational(std::int64_t(1) << k) : Rational(1, std::int64_t(1) << -k);
+      }
+      if (!inRange(sum) || !inRange(v)) return std::nullopt;
+      sum += v;
+    }
+    return sum;
+  }
+
+  [[nodiscard]] bool feasible(const std::set<SymbolId>& closure) const {
+    for (SymbolId id : closure) {
+      const auto it = values_.find(id);
+      if (it == values_.end() || !it->second.isInteger()) return false;
+      if (const auto lo = a_.lower(id)) {
+        const auto v = eval(*lo);
+        if (!v || !(*v <= it->second)) return false;
+      }
+      if (const auto hi = a_.upper(id)) {
+        const auto v = eval(*hi);
+        if (!v || !(it->second <= *v)) return false;
+      }
+      // No pow2-parameter link check: the table resolves the parameter name
+      // to its log symbol (a pow2 parameter is never a separate symbol — it
+      // only ever appears as pow2(log)), so a point over the log symbols is
+      // automatically consistent.
+    }
+    for (const Expr& f : a_.facts()) {
+      const auto v = eval(f);
+      if (!v || v->sign() < 0) return false;
+    }
+    return true;
+  }
+
+  const Assumptions& a_;
+  std::map<SymbolId, Rational> values_;
+};
+
+}  // namespace
+
+bool RangeAnalyzer::disproveByWitness(const Expr& e, bool strictWitness) const {
+  // The proof rules are sound over every integer point satisfying the
+  // assumptions, so one verified feasible point with e < 0 (for an e >= 0
+  // claim; e <= 0 for an e > 0 claim) settles the query as false — exactly
+  // the answer the exhaustive search would reach, without paying for the
+  // search. Failed proofs are where the search is at its most expensive
+  // (nothing prunes it), which makes this the cheap path for precisely the
+  // costly cases.
+  try {
+    const auto v = WitnessEvaluator(*asm_).valueAtFeasiblePoint(e);
+    if (!v) return false;
+    return strictWitness ? v->sign() < 0 : v->sign() <= 0;
+  } catch (...) {
+    return false;  // checked-int overflow in bound evaluation: claim nothing
+  }
+}
+
+// ---------------------------------------------------------------------------
 // RangeAnalyzer — sign proving
 // ---------------------------------------------------------------------------
 
@@ -270,17 +475,61 @@ bool RangeAnalyzer::provePosImpl(const Expr& e, int depth) const {
   return conclude(false);
 }
 
+// Each public query with the memo attached interns its expression once
+// (copying it into the arena only the first time the process sees that
+// normal form) and probes by handle: one cached-hash read plus pointer
+// compares, no structural tree walks. The Expr overloads delegate; callers
+// holding a handle skip the re-intern entirely.
+
 bool RangeAnalyzer::proveNonNegative(const Expr& e) const {
   if (!memo_) return proveNNImpl(e, maxDepth());
+  return proveNonNegative(ExprIntern::global().intern(e));
+}
+
+bool RangeAnalyzer::proveNonNegative(const InternedExpr& e) const {
+  if (!memo_) return proveNNImpl(*e, maxDepth());
   if (auto hit = memo_->lookupBool(ProofMemoContext::Op::kNonNegative, e)) {
     ProofMemo::global().recordHit();
     return *hit;
   }
   ProofMemo::global().recordMiss();
+  // Second level: the context-free slice memo — another assumptions set
+  // that agrees on every symbol this query can read may already hold the
+  // answer. A hit back-fills this context so its next probe stays first
+  // level; a computed result is published to both levels.
+  const auto slice = ProofMemo::global().sliceContext(*asm_, *e);
+  // Disproof by witness: settles refutable claims for the price of one
+  // evaluation instead of an exhausted proof search.
+  if (disproveByWitness(*e, /*strictWitness=*/true)) {
+    memo_->storeBool(ProofMemoContext::Op::kNonNegative, e, false);
+    slice->storeBool(ProofMemoContext::Op::kNonNegative, e, false);
+    return false;
+  }
+  bool claimed = false;
+  for (;;) {
+    if (auto shared = slice->lookupBool(ProofMemoContext::Op::kNonNegative, e)) {
+      memo_->storeBool(ProofMemoContext::Op::kNonNegative, e, *shared);
+      return *shared;
+    }
+    if (tlQueryDepth > 0) break;  // nested: compute directly, never wait
+    if (slice->claimOrWait(ProofMemoContext::Op::kNonNegative, e)) {
+      claimed = true;
+      break;
+    }
+    // The claim holder finished while we waited: re-probe (it can still miss
+    // if the holder was interrupted and published nothing — then we claim).
+  }
   resetScratch();
   const bool outer = beginQuery();
-  const bool result = proveNNImpl(e, maxDepth());
-  if (!queryInterrupted(outer)) memo_->storeBool(ProofMemoContext::Op::kNonNegative, e, result);
+  ++tlQueryDepth;
+  const bool result = proveNNImpl(*e, maxDepth());
+  --tlQueryDepth;
+  const bool interrupted = queryInterrupted(outer);
+  if (!interrupted) {
+    memo_->storeBool(ProofMemoContext::Op::kNonNegative, e, result);
+    slice->storeBool(ProofMemoContext::Op::kNonNegative, e, result);
+  }
+  if (claimed) slice->release(ProofMemoContext::Op::kNonNegative, e);
   return result;
 }
 
@@ -288,15 +537,53 @@ bool RangeAnalyzer::proveNonPositive(const Expr& e) const { return proveNonNegat
 
 bool RangeAnalyzer::provePositive(const Expr& e) const {
   if (!memo_) return provePosImpl(e, maxDepth());
+  return provePositive(ExprIntern::global().intern(e));
+}
+
+bool RangeAnalyzer::provePositive(const InternedExpr& e) const {
+  if (!memo_) return provePosImpl(*e, maxDepth());
   if (auto hit = memo_->lookupBool(ProofMemoContext::Op::kPositive, e)) {
     ProofMemo::global().recordHit();
     return *hit;
   }
   ProofMemo::global().recordMiss();
+  // Second level: the context-free slice memo — another assumptions set
+  // that agrees on every symbol this query can read may already hold the
+  // answer. A hit back-fills this context so its next probe stays first
+  // level; a computed result is published to both levels.
+  const auto slice = ProofMemo::global().sliceContext(*asm_, *e);
+  // Disproof by witness: settles refutable claims for the price of one
+  // evaluation instead of an exhausted proof search.
+  if (disproveByWitness(*e, /*strictWitness=*/false)) {
+    memo_->storeBool(ProofMemoContext::Op::kPositive, e, false);
+    slice->storeBool(ProofMemoContext::Op::kPositive, e, false);
+    return false;
+  }
+  bool claimed = false;
+  for (;;) {
+    if (auto shared = slice->lookupBool(ProofMemoContext::Op::kPositive, e)) {
+      memo_->storeBool(ProofMemoContext::Op::kPositive, e, *shared);
+      return *shared;
+    }
+    if (tlQueryDepth > 0) break;  // nested: compute directly, never wait
+    if (slice->claimOrWait(ProofMemoContext::Op::kPositive, e)) {
+      claimed = true;
+      break;
+    }
+    // The claim holder finished while we waited: re-probe (it can still miss
+    // if the holder was interrupted and published nothing — then we claim).
+  }
   resetScratch();
   const bool outer = beginQuery();
-  const bool result = provePosImpl(e, maxDepth());
-  if (!queryInterrupted(outer)) memo_->storeBool(ProofMemoContext::Op::kPositive, e, result);
+  ++tlQueryDepth;
+  const bool result = provePosImpl(*e, maxDepth());
+  --tlQueryDepth;
+  const bool interrupted = queryInterrupted(outer);
+  if (!interrupted) {
+    memo_->storeBool(ProofMemoContext::Op::kPositive, e, result);
+    slice->storeBool(ProofMemoContext::Op::kPositive, e, result);
+  }
+  if (claimed) slice->release(ProofMemoContext::Op::kPositive, e);
   return result;
 }
 
@@ -313,15 +600,44 @@ std::optional<int> RangeAnalyzer::signImpl(const Expr& e, int depth) const {
 
 std::optional<int> RangeAnalyzer::sign(const Expr& e) const {
   if (!memo_) return signImpl(e, maxDepth());
+  return sign(ExprIntern::global().intern(e));
+}
+
+std::optional<int> RangeAnalyzer::sign(const InternedExpr& e) const {
+  if (!memo_) return signImpl(*e, maxDepth());
   if (auto hit = memo_->lookupSign(e)) {
     ProofMemo::global().recordHit();
     return *hit;
   }
   ProofMemo::global().recordMiss();
+  // Second level: the context-free slice memo — another assumptions set
+  // that agrees on every symbol this query can read may already hold the
+  // answer. A hit back-fills this context so its next probe stays first
+  // level; a computed result is published to both levels.
+  const auto slice = ProofMemo::global().sliceContext(*asm_, *e);
+  bool claimed = false;
+  for (;;) {
+    if (auto shared = slice->lookupSign(e)) {
+      memo_->storeSign(e, *shared);
+      return *shared;
+    }
+    if (tlQueryDepth > 0) break;  // nested: compute directly, never wait
+    if (slice->claimOrWait(ProofMemoContext::Op::kSign, e)) {
+      claimed = true;
+      break;
+    }
+  }
   resetScratch();
   const bool outer = beginQuery();
-  const std::optional<int> result = signImpl(e, maxDepth());
-  if (!queryInterrupted(outer)) memo_->storeSign(e, result);
+  ++tlQueryDepth;
+  const std::optional<int> result = signImpl(*e, maxDepth());
+  --tlQueryDepth;
+  const bool interrupted = queryInterrupted(outer);
+  if (!interrupted) {
+    memo_->storeSign(e, result);
+    slice->storeSign(e, result);
+  }
+  if (claimed) slice->release(ProofMemoContext::Op::kSign, e);
   return result;
 }
 
@@ -331,29 +647,87 @@ std::optional<int> RangeAnalyzer::sign(const Expr& e) const {
 
 std::optional<Expr> RangeAnalyzer::upperBoundExpr(const Expr& e) const {
   if (!memo_) return bound(e, Mode::kUpper, /*indicesOnly=*/true, maxDepth());
+  return upperBoundExpr(ExprIntern::global().intern(e));
+}
+
+std::optional<Expr> RangeAnalyzer::upperBoundExpr(const InternedExpr& e) const {
+  if (!memo_) return bound(*e, Mode::kUpper, /*indicesOnly=*/true, maxDepth());
   if (auto hit = memo_->lookupExpr(ProofMemoContext::Op::kUpperBound, e)) {
     ProofMemo::global().recordHit();
     return *hit;
   }
   ProofMemo::global().recordMiss();
+  // Second level: the context-free slice memo — another assumptions set
+  // that agrees on every symbol this query can read may already hold the
+  // answer. A hit back-fills this context so its next probe stays first
+  // level; a computed result is published to both levels.
+  const auto slice = ProofMemo::global().sliceContext(*asm_, *e);
+  bool claimed = false;
+  for (;;) {
+    if (auto shared = slice->lookupExpr(ProofMemoContext::Op::kUpperBound, e)) {
+      memo_->storeExpr(ProofMemoContext::Op::kUpperBound, e, *shared);
+      return *shared;
+    }
+    if (tlQueryDepth > 0) break;  // nested: compute directly, never wait
+    if (slice->claimOrWait(ProofMemoContext::Op::kUpperBound, e)) {
+      claimed = true;
+      break;
+    }
+  }
   resetScratch();
   const bool outer = beginQuery();
-  const std::optional<Expr> result = bound(e, Mode::kUpper, /*indicesOnly=*/true, maxDepth());
-  if (!queryInterrupted(outer)) memo_->storeExpr(ProofMemoContext::Op::kUpperBound, e, result);
+  ++tlQueryDepth;
+  const std::optional<Expr> result = bound(*e, Mode::kUpper, /*indicesOnly=*/true, maxDepth());
+  --tlQueryDepth;
+  const bool interrupted = queryInterrupted(outer);
+  if (!interrupted) {
+    memo_->storeExpr(ProofMemoContext::Op::kUpperBound, e, result);
+    slice->storeExpr(ProofMemoContext::Op::kUpperBound, e, result);
+  }
+  if (claimed) slice->release(ProofMemoContext::Op::kUpperBound, e);
   return result;
 }
 
 std::optional<Expr> RangeAnalyzer::lowerBoundExpr(const Expr& e) const {
   if (!memo_) return bound(e, Mode::kLower, /*indicesOnly=*/true, maxDepth());
+  return lowerBoundExpr(ExprIntern::global().intern(e));
+}
+
+std::optional<Expr> RangeAnalyzer::lowerBoundExpr(const InternedExpr& e) const {
+  if (!memo_) return bound(*e, Mode::kLower, /*indicesOnly=*/true, maxDepth());
   if (auto hit = memo_->lookupExpr(ProofMemoContext::Op::kLowerBound, e)) {
     ProofMemo::global().recordHit();
     return *hit;
   }
   ProofMemo::global().recordMiss();
+  // Second level: the context-free slice memo — another assumptions set
+  // that agrees on every symbol this query can read may already hold the
+  // answer. A hit back-fills this context so its next probe stays first
+  // level; a computed result is published to both levels.
+  const auto slice = ProofMemo::global().sliceContext(*asm_, *e);
+  bool claimed = false;
+  for (;;) {
+    if (auto shared = slice->lookupExpr(ProofMemoContext::Op::kLowerBound, e)) {
+      memo_->storeExpr(ProofMemoContext::Op::kLowerBound, e, *shared);
+      return *shared;
+    }
+    if (tlQueryDepth > 0) break;  // nested: compute directly, never wait
+    if (slice->claimOrWait(ProofMemoContext::Op::kLowerBound, e)) {
+      claimed = true;
+      break;
+    }
+  }
   resetScratch();
   const bool outer = beginQuery();
-  const std::optional<Expr> result = bound(e, Mode::kLower, /*indicesOnly=*/true, maxDepth());
-  if (!queryInterrupted(outer)) memo_->storeExpr(ProofMemoContext::Op::kLowerBound, e, result);
+  ++tlQueryDepth;
+  const std::optional<Expr> result = bound(*e, Mode::kLower, /*indicesOnly=*/true, maxDepth());
+  --tlQueryDepth;
+  const bool interrupted = queryInterrupted(outer);
+  if (!interrupted) {
+    memo_->storeExpr(ProofMemoContext::Op::kLowerBound, e, result);
+    slice->storeExpr(ProofMemoContext::Op::kLowerBound, e, result);
+  }
+  if (claimed) slice->release(ProofMemoContext::Op::kLowerBound, e);
   return result;
 }
 
@@ -471,18 +845,45 @@ std::optional<Expr> RangeAnalyzer::bound(const Expr& e, Mode mode, bool indicesO
 
 bool RangeAnalyzer::proveIntegerValued(const Expr& e) const {
   if (!memo_) return integerValuedImpl(e);
+  return proveIntegerValued(ExprIntern::global().intern(e));
+}
+
+bool RangeAnalyzer::proveIntegerValued(const InternedExpr& e) const {
+  if (!memo_) return integerValuedImpl(*e);
   if (auto hit = memo_->lookupBool(ProofMemoContext::Op::kIntegerValued, e)) {
     ProofMemo::global().recordHit();
     return *hit;
   }
   ProofMemo::global().recordMiss();
+  // Second level: the context-free slice memo — another assumptions set
+  // that agrees on every symbol this query can read may already hold the
+  // answer. A hit back-fills this context so its next probe stays first
+  // level; a computed result is published to both levels.
+  const auto slice = ProofMemo::global().sliceContext(*asm_, *e);
+  bool claimed = false;
+  for (;;) {
+    if (auto shared = slice->lookupBool(ProofMemoContext::Op::kIntegerValued, e)) {
+      memo_->storeBool(ProofMemoContext::Op::kIntegerValued, e, *shared);
+      return *shared;
+    }
+    if (tlQueryDepth > 0) break;  // nested: compute directly, never wait
+    if (slice->claimOrWait(ProofMemoContext::Op::kIntegerValued, e)) {
+      claimed = true;
+      break;
+    }
+  }
   // No resetScratch here: the impl only issues public proveNonNegative
   // queries, each of which is itself a memo probe.
   const bool outer = beginQuery();
-  const bool result = integerValuedImpl(e);
-  if (!queryInterrupted(outer)) {
+  ++tlQueryDepth;
+  const bool result = integerValuedImpl(*e);
+  --tlQueryDepth;
+  const bool interrupted = queryInterrupted(outer);
+  if (!interrupted) {
     memo_->storeBool(ProofMemoContext::Op::kIntegerValued, e, result);
+    slice->storeBool(ProofMemoContext::Op::kIntegerValued, e, result);
   }
+  if (claimed) slice->release(ProofMemoContext::Op::kIntegerValued, e);
   return result;
 }
 

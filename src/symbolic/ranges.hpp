@@ -12,6 +12,7 @@
 // property could not be proved, never that it is false.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -21,6 +22,7 @@
 namespace ad::sym {
 
 class ProofMemoContext;
+class InternedExpr;
 
 /// Per-symbol interval assumptions. Bounds are Exprs and may reference other
 /// symbols (e.g. the TFFT2 J loop has upper bound P*2^-L - 1, which mentions
@@ -29,16 +31,28 @@ class Assumptions {
  public:
   explicit Assumptions(const SymbolTable& table) : table_(&table) {}
 
-  void setLower(SymbolId id, Expr lo) { ranges_[id].lo = std::move(lo); }
-  void setUpper(SymbolId id, Expr hi) { ranges_[id].hi = std::move(hi); }
+  void setLower(SymbolId id, Expr lo) {
+    memoKey_.reset();
+    ranges_[id].lo = std::move(lo);
+  }
+  void setUpper(SymbolId id, Expr hi) {
+    memoKey_.reset();
+    ranges_[id].hi = std::move(hi);
+  }
   void setRange(SymbolId id, Expr lo, Expr hi) {
     setLower(id, std::move(lo));
     setUpper(id, std::move(hi));
   }
-  void clear(SymbolId id) { ranges_.erase(id); }
+  void clear(SymbolId id) {
+    memoKey_.reset();
+    ranges_.erase(id);
+  }
 
   /// Registers a fact "expr >= 0" (e.g. loop non-emptiness: upper - lower).
-  void addFact(Expr nonNegative) { facts_.push_back(std::move(nonNegative)); }
+  void addFact(Expr nonNegative) {
+    memoKey_.reset();
+    facts_.push_back(std::move(nonNegative));
+  }
   [[nodiscard]] const std::vector<Expr>& facts() const noexcept { return facts_; }
 
   /// Effective lower bound for a symbol: explicit assumption if present,
@@ -49,6 +63,18 @@ class Assumptions {
 
   [[nodiscard]] const SymbolTable& table() const noexcept { return *table_; }
 
+  /// Exact serialization of everything a RangeAnalyzer reads from this set,
+  /// plus its hash — the proof-memo registry key. Built lazily on first use
+  /// and cached (every mutator invalidates it), so repeated memo probes over
+  /// the same assumptions allocate nothing. Copies share the cache; the lazy
+  /// build is unsynchronized, matching how Assumptions are used everywhere
+  /// (constructed and queried within one task, never mutated concurrently).
+  struct MemoKey {
+    std::string text;
+    std::uint64_t hash = 0;
+  };
+  [[nodiscard]] const MemoKey& memoKey() const;
+
  private:
   struct Range {
     std::optional<Expr> lo;
@@ -57,6 +83,7 @@ class Assumptions {
   const SymbolTable* table_;
   std::map<SymbolId, Range> ranges_;
   std::vector<Expr> facts_;
+  mutable std::shared_ptr<const MemoKey> memoKey_;
 };
 
 class RangeAnalyzer {
@@ -100,6 +127,19 @@ class RangeAnalyzer {
   /// integer-valued when L >= 1).
   [[nodiscard]] bool proveIntegerValued(const Expr& e) const;
 
+  // Interned-handle entry points. Identical answers to the Expr overloads,
+  // but the memo probe is one cached-hash read plus pointer compares, and a
+  // caller that queries the same expression more than once (or through
+  // several predicates) interns it exactly once. Handles must be non-null
+  // (obtained from ExprIntern::global().intern); with the memo detached
+  // these compute directly on the handle's canonical Expr.
+  [[nodiscard]] std::optional<Expr> upperBoundExpr(const InternedExpr& e) const;
+  [[nodiscard]] std::optional<Expr> lowerBoundExpr(const InternedExpr& e) const;
+  [[nodiscard]] std::optional<int> sign(const InternedExpr& e) const;
+  [[nodiscard]] bool proveNonNegative(const InternedExpr& e) const;
+  [[nodiscard]] bool provePositive(const InternedExpr& e) const;
+  [[nodiscard]] bool proveIntegerValued(const InternedExpr& e) const;
+
  private:
   enum class Mode { kLower, kUpper };
   static constexpr int kMaxDepth = 24;
@@ -107,6 +147,13 @@ class RangeAnalyzer {
   /// Effective depth budget: the thread's ad::support::Budget cap when one is
   /// installed, kMaxDepth otherwise.
   [[nodiscard]] static int maxDepth();
+
+  /// Disproof by witness evaluation: true when a verified feasible integer
+  /// point has e < 0 (strictWitness, refuting e >= 0) or e <= 0 (refuting
+  /// e > 0). The prover is sound, so a disproved claim is exactly one the
+  /// full search would also answer false — this is a shortcut, never a
+  /// change of verdict. Used on shared-memo misses before the search runs.
+  [[nodiscard]] bool disproveByWitness(const Expr& e, bool strictWitness) const;
   /// Marks the start of a public query; returns (and clears) the thread's
   /// "interrupted" flag so nested public queries compose.
   static bool beginQuery();

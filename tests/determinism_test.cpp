@@ -67,6 +67,24 @@ TEST(Determinism, ByteIdenticalAcrossThreadCounts) {
   }
 }
 
+// Hash quality must not affect determinism either: with every intern-time
+// hash forced to one degenerate value (one arena shard, one probe cluster,
+// one memo-registry bucket), the batch must still be byte-identical at every
+// thread count and to the normal-hash run.
+TEST(Determinism, ByteIdenticalUnderDegenerateHashes) {
+  const SuitePrograms sp = makeSuiteBatch();
+  const auto normal = serializeAll(sp, 1);
+  const sym::DegenerateHashGuard degenerate;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const auto got = serializeAll(sp, jobs);
+    ASSERT_EQ(normal.size(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(normal[i], got[i]) << codes::benchmarkSuite()[i].name
+                                   << " diverged under degenerate hashes at jobs=" << jobs;
+    }
+  }
+}
+
 TEST(Determinism, RepeatedRunsIdentical) {
   const SuitePrograms sp = makeSuiteBatch();
   const auto reference = serializeAll(sp, 8);

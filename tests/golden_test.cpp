@@ -16,6 +16,7 @@
 #include "codes/suite.hpp"
 #include "driver/pipeline.hpp"
 #include "driver/serialize.hpp"
+#include "locality/analysis.hpp"
 #include "symbolic/intern.hpp"
 
 namespace ad {
@@ -89,6 +90,28 @@ TEST_P(GoldenFile, MemoizedMatchesLegacy) {
     EXPECT_EQ(memoized, warm);
   }
   EXPECT_EQ(legacy, memoized) << info.name;
+}
+
+// Hash quality must never affect results. Under the degenerate-hash hook
+// every intern-time hash collapses to one value: all expressions land in one
+// arena shard and probe cluster, every memo context shares a registry
+// bucket, and the phase cache degrades the same way — probes become linear
+// scans decided by structural/pointer compares alone. The snapshot must
+// still match byte for byte.
+TEST_P(GoldenFile, DegenerateHashMatchesSnapshot) {
+  if (const char* update = std::getenv("AD_UPDATE_GOLDENS"); update && *update == '1') {
+    GTEST_SKIP() << "golden refresh run";
+  }
+  const codes::CodeInfo& info = codes::benchmarkSuite()[GetParam()];
+  const ir::Program program = info.build();
+  const auto want = readFile(goldenPath(info.name));
+  ASSERT_TRUE(want) << "missing golden file for " << info.name;
+
+  const sym::DegenerateHashGuard degenerate;  // restarts the arena + memo cold
+  loc::clearPhaseArrayMemo();                 // cold phase cache under the hook too
+  const sym::ProofMemoEnabledGuard on(true);
+  const std::string got = driver::serializeGolden(analyzeCode(info, program), program);
+  EXPECT_EQ(*want, got) << info.name << " diverged under the degenerate-hash hook";
 }
 
 std::string codeName(const ::testing::TestParamInfo<std::size_t>& p) {

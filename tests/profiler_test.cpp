@@ -134,11 +134,44 @@ TEST_F(ProfilerTest, ResetZeroesRowsAndShards) {
   profiler().threadStats("").tasks.fetch_add(7, std::memory_order_relaxed);
   profiler().shard(ShardFamily::kExprIntern, 1).acquisitions.fetch_add(3,
                                                                        std::memory_order_relaxed);
+  profiler().shard(ShardFamily::kExprIntern, 1).probeSteps.fetch_add(9,
+                                                                     std::memory_order_relaxed);
   profiler().lockWaitHistogram(ShardFamily::kExprIntern).observe(10);
   profiler().reset();
   EXPECT_EQ(profiler().threadStats("").tasks.load(), 0);
   EXPECT_EQ(profiler().shard(ShardFamily::kExprIntern, 1).acquisitions.load(), 0);
+  EXPECT_EQ(profiler().shard(ShardFamily::kExprIntern, 1).probeSteps.load(), 0);
   EXPECT_EQ(profiler().lockWaitHistogram(ShardFamily::kExprIntern).count(), 0);
+}
+
+// Probe-length accounting: interning under an enabled profiler accumulates
+// probe_steps for the touched shards, the shard rows expose them in the
+// summary, and the mean probe length stays near 1 with healthy hashes.
+TEST_F(ProfilerTest, InternProbeStepsAttributed) {
+  sym::ExprIntern::global().clear();
+  profiler().enable();
+  sym::SymbolTable st;
+  const auto p = st.parameter("P");
+  std::int64_t expectedProbes = 0;
+  for (int k = 0; k < 64; ++k) {
+    (void)sym::ExprIntern::global().intern(sym::Expr::symbol(p) * sym::Expr::constant(k));
+    (void)sym::ExprIntern::global().intern(sym::Expr::symbol(p) * sym::Expr::constant(k));
+    expectedProbes += 2;
+  }
+  std::int64_t steps = 0;
+  std::int64_t probes = 0;
+  for (std::size_t i = 0; i < kMaxShardsPerFamily; ++i) {
+    const ShardStats& s = profiler().shard(ShardFamily::kExprIntern, i);
+    steps += s.probeSteps.load(std::memory_order_relaxed);
+    probes += s.hits.load(std::memory_order_relaxed) +
+              s.misses.load(std::memory_order_relaxed);
+  }
+  EXPECT_EQ(probes, expectedProbes);
+  EXPECT_GE(steps, probes);  // every probe inspects at least one slot
+  // Mean probe length near 1: the cached-hash open addressing barely chains.
+  EXPECT_LT(static_cast<double>(steps), 2.0 * static_cast<double>(probes));
+  EXPECT_NE(profiler().summary().find("\"probe_steps\""), std::string::npos);
+  sym::ExprIntern::global().clear();
 }
 
 // Satellite guarantee: a fault that unwinds a pipeline task mid-analysis must

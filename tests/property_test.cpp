@@ -205,6 +205,70 @@ TEST_P(MemoFuzz, CachedAnswersMatchUncached) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MemoFuzz, ::testing::Values(31u, 32u, 33u, 34u));
 
+// Collision-heavy variant: the same cold/warm-vs-fresh differential, but with
+// every intern-time hash forced to one degenerate value, so all of the fuzzed
+// expressions fight over a single arena shard and probe cluster and the memo
+// tables are decided purely by structural/pointer compares. Hash quality may
+// change probe lengths, never answers.
+class CollisionFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CollisionFuzz, DegenerateHashAnswersMatchUncached) {
+  std::mt19937 rng(GetParam());
+  sym::SymbolTable st;
+  const auto n = st.parameter("N");
+  const auto i = st.index("i");
+  const auto j = st.index("j");
+  sym::Assumptions assumptions(st);
+  assumptions.setRange(i, c(0), Expr::symbol(n) - c(1));
+  assumptions.setRange(j, c(0), Expr::symbol(i));
+  assumptions.addFact(Expr::symbol(n) - c(1));
+
+  const sym::DegenerateHashGuard degenerate;  // arena + memo restart cold
+  sym::ProofMemoEnabledGuard on(true);
+  const sym::RangeAnalyzer cold(assumptions);
+  const sym::RangeAnalyzer warm(assumptions);
+
+  const auto randomExpr = [&](auto&& self, int depth) -> Expr {
+    std::uniform_int_distribution<int> kind(0, depth > 0 ? 5 : 3);
+    switch (kind(rng)) {
+      case 0:
+        return c(std::uniform_int_distribution<int>(-3, 3)(rng));
+      case 1:
+        return Expr::symbol(n);
+      case 2:
+        return Expr::symbol(i);
+      case 3:
+        return Expr::symbol(j);
+      case 4:
+        return self(self, depth - 1) + self(self, depth - 1);
+      default:
+        return self(self, depth - 1) * self(self, depth - 1);
+    }
+  };
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const Expr e = randomExpr(randomExpr, 2) - randomExpr(randomExpr, 2);
+    sym::ProofMemoEnabledGuard off(false);
+    const auto fresh = [&] { return sym::RangeAnalyzer(assumptions); };
+    EXPECT_EQ(fresh().proveNonNegative(e), cold.proveNonNegative(e)) << e.str(st);
+    EXPECT_EQ(fresh().provePositive(e), cold.provePositive(e)) << e.str(st);
+    EXPECT_EQ(fresh().sign(e), cold.sign(e)) << e.str(st);
+    EXPECT_EQ(fresh().upperBoundExpr(e), cold.upperBoundExpr(e)) << e.str(st);
+    EXPECT_EQ(fresh().lowerBoundExpr(e), cold.lowerBoundExpr(e)) << e.str(st);
+    EXPECT_EQ(fresh().proveIntegerValued(e), cold.proveIntegerValued(e)) << e.str(st);
+    EXPECT_EQ(cold.proveNonNegative(e), warm.proveNonNegative(e)) << e.str(st);
+    EXPECT_EQ(cold.sign(e), warm.sign(e)) << e.str(st);
+  }
+  // The collision pile-up must have exercised the cache both ways, and every
+  // interned expression really did collapse to the degenerate hash.
+  const auto stats = sym::ProofMemo::global().stats();
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.misses, 0);
+  EXPECT_GT(sym::ExprIntern::global().size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollisionFuzz, ::testing::Values(41u, 42u));
+
 // ---------------------------------------------------------------------------
 // Diophantine vs brute force
 // ---------------------------------------------------------------------------
