@@ -1,8 +1,11 @@
-// Batched analysis engine scaling on a 126-code workload: serial legacy
+// Batched analysis engine scaling on a 130-code workload: serial legacy
 // engine vs the memoized work-stealing engine at 1/2/4/8 worker threads.
 //
-// Workload: the six-code benchmark suite analyzed at H in {1, 4, 8} (18
-// pipeline configs), plus 114 generated stencil codes (bench/workload_gen.hpp
+// Workload: the ten-code benchmark suite (six 1999 codes + the AI/HPC kernel
+// family) analyzed at H in {1, 4, 8} (30 pipeline configs), plus the four
+// kernels again under their power-of-two bindings at the same H values (12
+// configs — both binding classes must exercise the same memoized algebra),
+// plus 114 generated stencil codes (bench/workload_gen.hpp
 // — six shared stride/offset families, rotated per variant) analyzed at H=4,
 // plus 6 pow2 butterfly codes (TFFT2's cost class: 2^(l-1) subscripts that
 // are expensive for the prover, composed from a six-kernel shared pool)
@@ -81,6 +84,26 @@ Workload makeWorkload() {
       w.batch.push_back(std::move(item));
     }
   }
+  // The kernel family again under its power-of-two bindings (the suite's
+  // smallParams are deliberately non-pow2): same programs, different
+  // parameter values, so the pow2 class rides the same memoized descriptors.
+  for (const std::int64_t h : {1, 4, 8}) {
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      const auto& info = suite[i];
+      if (info.name != "matmul" && info.name != "conv2d" && info.name != "attention" &&
+          info.name != "stencil_tt") {
+        continue;
+      }
+      ad::driver::BatchItem item;
+      item.program = &w.programs[i];
+      item.label = info.name + "_pow2";
+      item.config.params = ad::codes::bindParams(w.programs[i], info.simParams);
+      item.config.processors = h;
+      item.config.simulatePlan = false;
+      item.config.simulateBaseline = false;
+      w.batch.push_back(std::move(item));
+    }
+  }
   // Generated stencil codes, one config each at H=4.
   for (std::size_t f = 0; f < kGenFamilies; ++f) {
     for (std::size_t v = 0; v < kGenVariants; ++v) {
@@ -127,7 +150,8 @@ Workload makeWorkload() {
 int main() {
   using namespace ad;
   bench::Reporter r(
-      "Batched analysis engine scaling (six-code suite x H in {1,4,8} + 120 generated codes)");
+      "Batched analysis engine scaling (ten-code suite x H in {1,4,8}, kernel pow2 "
+      "bindings + 120 generated codes)");
 
   const Workload w = makeWorkload();
   r.note("workload: " + std::to_string(w.codes) + " codes (" + std::to_string(w.generated) +

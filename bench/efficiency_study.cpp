@@ -11,6 +11,18 @@
 // while the baseline collapses on the communication-heavy codes.
 //
 // Absolute numbers are simulator cycles, not T3D seconds.
+//
+// The >70% claim is the paper's claim about its own six codes, whose
+// communication is halo- or frontier-shaped and shrinks relative to compute
+// as the problem grows. Two of the AI/HPC kernels (matmul, attention) are
+// structurally different: every tile row reads B (resp. K/V) wholesale, and
+// at study sizes the storage constraint forbids replicating those arrays, so
+// remote traffic scales with compute and no distribution can reach 70% at
+// H = 64. For those codes the reproduced shape is instead that the
+// LCG-derived plan moves several times fewer remote words than the naive
+// BLOCK baseline (EXPERIMENTS.md, "AI/HPC kernel family"). conv2d and
+// stencil_tt are halo-only and are held to the same 70% bar as the paper's
+// codes.
 #include <iomanip>
 
 #include "bench_util.hpp"
@@ -22,7 +34,7 @@ int main(int argc, char** argv) {
   using namespace ad;
   // --quick shrinks the problem sizes (used by CI-style smoke runs).
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  bench::Reporter rep("Efficiency study — six codes, LCG-derived vs naive BLOCK distributions");
+  bench::Reporter rep("Efficiency study — ten codes, LCG-derived vs naive BLOCK distributions");
 
   const std::vector<std::int64_t> Hs = quick ? std::vector<std::int64_t>{4, 16}
                                              : std::vector<std::int64_t>{4, 16, 64};
@@ -30,8 +42,11 @@ int main(int argc, char** argv) {
 
   for (const auto& code : codes::benchmarkSuite()) {
     const ir::Program prog = code.build();
+    const bool broadcastBound = code.name == "matmul" || code.name == "attention";
     double effAt64 = -1.0;
     double naiveAt64 = -1.0;
+    std::int64_t remoteAt64 = 0;
+    std::int64_t naiveRemoteAt64 = 0;
     for (const std::int64_t H : Hs) {
       driver::PipelineConfig config;
       config.params = codes::bindParams(prog, quick ? code.smallParams : code.studyParams);
@@ -47,11 +62,21 @@ int main(int argc, char** argv) {
       if (H == Hs.back()) {
         effAt64 = eff;
         naiveAt64 = naive;
+        remoteAt64 = result.planned.totalRemoteAccesses();
+        naiveRemoteAt64 = result.naive.totalRemoteAccesses();
       }
     }
-    rep.checkTrue(code.name + ": efficiency > 0.70 at H = " + std::to_string(Hs.back()) +
-                      " (paper: >70% at 64 PEs)",
-                  effAt64 > 0.70);
+    if (broadcastBound) {
+      // Wholesale B / KV reads scale with compute, so the paper's 70% bound
+      // does not apply; the plan must still beat naive by a wide margin.
+      rep.checkTrue(code.name + ": LCG plan moves <= half the naive remote words at H = " +
+                        std::to_string(Hs.back()) + " (broadcast-bound kernel)",
+                    remoteAt64 * 2 <= naiveRemoteAt64);
+    } else {
+      rep.checkTrue(code.name + ": efficiency > 0.70 at H = " + std::to_string(Hs.back()) +
+                        " (paper: >70% at 64 PEs)",
+                    effAt64 > 0.70);
+    }
     rep.checkTrue(code.name + ": LCG plan at least matches the naive baseline",
                   effAt64 >= naiveAt64 * 0.999);
   }

@@ -18,7 +18,8 @@
 // (differential mode: the two traces must agree exactly — see
 // docs/VALIDATION.md). A differential mismatch exits 1.
 //
-// With --suite, runs all six benchmark codes as one batch through the
+// With --suite, runs the whole benchmark suite (six 1999 codes + the AI/HPC
+// kernel family) as one batch through the
 // non-throwing engine: each item reports ok / degraded / FAILED with its
 // structured status, and one poisoned code never takes down the others.
 //

@@ -6,7 +6,7 @@ Usage:
 
 Compares the bench JSON artifacts the perf CI stage produces
 (BENCH_analysis.json, BENCH_contention.json, BENCH_intern.json,
-BENCH_symval.json) against the
+BENCH_kernels.json, BENCH_symval.json) against the
 baselines under bench/baselines/. Exits nonzero, listing every violated
 metric, when the fresh run regressed.
 
@@ -124,6 +124,47 @@ def compare_symval(gate, baseline, fresh, tolerance_pct):
                        f"baseline {b['local_fraction']}, fresh {f['local_fraction']}")
 
 
+def compare_kernels(gate, baseline, fresh, tolerance_pct):
+    del tolerance_pct  # kernel locality results are structural, never timed
+    gate.exact("kernels.schema", baseline["schema"], fresh["schema"])
+    base_kernels = {k["name"]: k for k in baseline["kernels"]}
+    fresh_kernels = {k["name"]: k for k in fresh["kernels"]}
+    gate.exact("kernels.names", sorted(base_kernels), sorted(fresh_kernels))
+    for name in sorted(set(base_kernels) & set(fresh_kernels)):
+        base_bindings = {b["class"]: b for b in base_kernels[name]["bindings"]}
+        fresh_bindings = {b["class"]: b for b in fresh_kernels[name]["bindings"]}
+        gate.exact(f"kernels.{name}.binding_classes", sorted(base_bindings),
+                   sorted(fresh_bindings))
+        for cls in sorted(set(base_bindings) & set(fresh_bindings)):
+            gate.exact(f"kernels.{name}[{cls}].params",
+                       base_bindings[cls]["params"], fresh_bindings[cls]["params"])
+            base_runs = {r["processors"]: r for r in base_bindings[cls]["runs"]}
+            fresh_runs = {r["processors"]: r for r in fresh_bindings[cls]["runs"]}
+            for procs in sorted(set(base_runs) & set(fresh_runs)):
+                b, f = base_runs[procs], fresh_runs[procs]
+                prefix = f"kernels.{name}[{cls}][H={procs}]"
+                # Everything below is a deterministic function of the analysis
+                # over fixed bindings: oracle verdicts, LCG structure and the
+                # DSM cost model's times must reproduce exactly.
+                gate.exact(f"{prefix}.differential", b["differential"], f["differential"])
+                gate.exact(f"{prefix}.locality_check", b["locality_check"],
+                           f["locality_check"])
+                gate.exact(f"{prefix}.accesses", b["accesses"], f["accesses"])
+                gate.exact(f"{prefix}.comm_edges", b["comm_edges"], f["comm_edges"])
+                gate.exact(f"{prefix}.redistributions", b["redistributions"],
+                           f["redistributions"])
+                gate.exact(f"{prefix}.closed_form_regions", b["closed_form_regions"],
+                           f["closed_form_regions"])
+                gate.check(abs(b["local_fraction"] - f["local_fraction"]) < 1e-9,
+                           f"{prefix}.local_fraction",
+                           f"baseline {b['local_fraction']}, fresh {f['local_fraction']}")
+                for key in ("planned_time", "naive_time"):
+                    rel = abs(b[key] - f[key]) / max(1.0, abs(b[key]))
+                    gate.check(rel < 1e-6, f"{prefix}.{key}",
+                               f"baseline {b[key]}, fresh {f[key]} (model time, "
+                               f"must reproduce exactly)")
+
+
 def compare_intern(gate, baseline, fresh, tolerance_pct):
     gate.exact("intern.schema", baseline["schema"], fresh["schema"])
     gate.exact("intern.distinct_exprs", baseline["distinct_exprs"],
@@ -150,6 +191,7 @@ COMPARATORS = {
     "BENCH_analysis.json": compare_analysis,
     "BENCH_contention.json": compare_contention,
     "BENCH_intern.json": compare_intern,
+    "BENCH_kernels.json": compare_kernels,
     "BENCH_symval.json": compare_symval,
 }
 

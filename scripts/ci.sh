@@ -32,6 +32,9 @@ tsan() {
   # dedicated -fsanitize=thread build of their tests catches data races the
   # plain run cannot. GTest itself is TSan-clean, so the whole binaries run
   # under it.
+  # golden_test and symval_test ride along for the kernel family: the batched
+  # jobs=8 golden run and the P in {1,4,8} differential validations spawn real
+  # worker/simulator threads over the kernels' tiled and sliding-window nests.
   echo "=== tsan: simulator + observability + batched-engine tests under ThreadSanitizer ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -39,13 +42,15 @@ tsan() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "$jobs" --target \
     sim_test obs_test thread_pool_test determinism_test profiler_test \
-    intern_test
+    intern_test golden_test symval_test
   ./build-tsan/tests/sim_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/thread_pool_test
   ./build-tsan/tests/determinism_test
   ./build-tsan/tests/profiler_test
   ./build-tsan/tests/intern_test
+  ./build-tsan/tests/golden_test
+  ./build-tsan/tests/symval_test
 }
 
 asan() {
@@ -68,7 +73,8 @@ asan() {
 }
 
 fault() {
-  # Deterministic fault/budget matrix over the six-code suite. Asserts the
+  # Deterministic fault/budget matrix over the ten-code suite (six 1999 codes
+  # + the AI/HPC kernel family — --suite covers all of them). Asserts the
   # documented exit-code contract (examples/tfft2_pipeline):
   #   0 clean, 2 usage, 4 analysis failed (structured, siblings unharmed),
   #   5 degraded but sound. Every degraded run executes under --simulate, so
@@ -96,7 +102,7 @@ fault() {
 
   # Budget exhaustion: conservative fallbacks only, validation still passes.
   expect_rc 5 "$bin" --suite --simulate --budget-steps 500
-  expect_rc 5 "$bin" --suite --simulate --budget-steps 2000
+  expect_rc 5 "$bin" --suite --simulate --budget-steps 1500
   expect_rc 5 "$bin" --suite --simulate --fault prover.timeout@1 --budget-steps 1000000000
 
   # Injected hard failures: the poisoned item fails with a structured status,
@@ -128,8 +134,10 @@ fault() {
   # Probabilistic campaign (the tag%P:SEED grammar, docs/ROBUSTNESS.md): each
   # seed decides firings by a hash of (seed, hit index), so the exit-code
   # sequence over a fixed seed range is fully deterministic and asserted
-  # exactly. Two legs:
-  #   1. sim.trace%30 alone — a mix of hard failures (4) and clean runs (0);
+  # exactly. The ten-code suite gives sim.trace ten hit sites per run (one
+  # per code, kernels included), so the firing rate sits at 12% — the largest
+  # value that still leaves clean seeds in the range. Two legs:
+  #   1. sim.trace%12 alone — a mix of hard failures (4) and clean runs (0);
   #   2. plus symval.region%2 under --validate=both — the previously-clean
   #      seeds now degrade (5), and every degraded region falls back to the
   #      enumerating oracle, so differential agreement still holds (a 1
@@ -147,8 +155,8 @@ fault() {
     fi
     echo "ok (campaign): $spec over seeds 1..10 -> [$want]"
   }
-  campaign "sim.trace%30:SEED" "4 0 4 4 0 4 4 4 4 4 "
-  campaign "sim.trace%30:SEED,symval.region%2:SEED" "4 5 4 4 5 4 4 4 4 4 "
+  campaign "sim.trace%12:SEED" "4 0 4 4 4 4 4 4 0 4 "
+  campaign "sim.trace%12:SEED,symval.region%2:SEED" "4 5 4 4 4 4 4 4 5 4 "
 }
 
 symval() {
@@ -169,7 +177,7 @@ import json
 doc = json.load(open("BENCH_symval.json"))
 assert doc["benchmark"] == "symbolic_validation", doc.get("benchmark")
 codes = doc["codes"]
-assert len(codes) == 6, f"want 6 codes, got {len(codes)}"
+assert len(codes) == 10, f"want 10 codes (six 1999 + four kernels), got {len(codes)}"
 for code in codes:
     assert code["name"] and isinstance(code["params"], dict), code
     procs = [r["processors"] for r in code["runs"]]
@@ -275,10 +283,12 @@ perf() {
   echo "=== perf: regression gate vs bench/baselines ==="
   cmake -B build -S .
   cmake --build build -j "$jobs" --target \
-    analysis_scaling contention_profile symbolic_validation intern_microbench
+    analysis_scaling contention_profile symbolic_validation kernel_family \
+    intern_microbench
   ./build/bench/analysis_scaling
   ./build/bench/contention_profile
   ./build/bench/symbolic_validation
+  ./build/bench/kernel_family
   ./build/bench/intern_microbench
 
   # Structural schema check of the interning artifact: the ad.bench.intern.v1
@@ -337,7 +347,7 @@ EOF
   local doctored
   doctored="$(mktemp -d)"
   cp BENCH_analysis.json BENCH_contention.json BENCH_intern.json \
-     BENCH_symval.json "$doctored"/
+     BENCH_kernels.json BENCH_symval.json "$doctored"/
   python3 - "$doctored" <<'EOF'
 import json, sys
 
@@ -366,7 +376,7 @@ EOF
   # intern comparator itself trips (not just the analysis/contention gates).
   doctored="$(mktemp -d)"
   cp BENCH_analysis.json BENCH_contention.json BENCH_intern.json \
-     BENCH_symval.json "$doctored"/
+     BENCH_kernels.json BENCH_symval.json "$doctored"/
   python3 - "$doctored" <<'EOF'
 import json, sys
 
@@ -382,6 +392,30 @@ EOF
   fi
   rm -rf "$doctored"
   echo "ok (self-test): degenerate intern table rejected"
+
+  # Third leg: doctor ONLY the kernel-family artifact (a flipped differential
+  # verdict and a drifted C-edge count), so a pass here proves compare_kernels
+  # itself trips on the exact-match structural metrics.
+  doctored="$(mktemp -d)"
+  cp BENCH_analysis.json BENCH_contention.json BENCH_intern.json \
+     BENCH_kernels.json BENCH_symval.json "$doctored"/
+  python3 - "$doctored" <<'EOF'
+import json, sys
+
+root = sys.argv[1]
+doc = json.load(open(f"{root}/BENCH_kernels.json"))
+run = doc["kernels"][0]["bindings"][0]["runs"][0]
+run["differential"] = "MISMATCH"
+run["comm_edges"] += 1
+json.dump(doc, open(f"{root}/BENCH_kernels.json", "w"))
+EOF
+  if python3 scripts/bench_compare.py bench/baselines "$doctored" >/dev/null 2>&1; then
+    echo "FAIL: bench_compare accepted a flipped kernel differential verdict" >&2
+    rm -rf "$doctored"
+    exit 1
+  fi
+  rm -rf "$doctored"
+  echo "ok (self-test): doctored kernel-family artifact rejected"
 }
 
 bench() {

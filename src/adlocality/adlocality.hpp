@@ -12,7 +12,7 @@
 //   ilp::        the Table-2 integer program and its exact solver
 //   comm::       put-schedule generation (global / frontier, aggregated)
 //   dsm::        the DSM machine model and execution simulator
-//   codes::      the six-code benchmark suite
+//   codes::      the benchmark suite (six 1999 codes + AI/HPC kernels)
 //   driver::     the end-to-end pipeline
 //
 // See README.md for a walkthrough and DESIGN.md for the paper mapping.

@@ -1,0 +1,273 @@
+#include "codes/kernels.hpp"
+
+namespace ad::codes {
+
+using ir::PhaseBuilder;
+using sym::Expr;
+
+namespace {
+Expr c(std::int64_t v) { return Expr::constant(v); }
+}  // namespace
+
+// Tiled GEMM. The matrix extent is the product NT*T so that non-power-of-two
+// tilings bind exactly (the expression algebra has no symbolic division).
+// INIT writes whole rows under a doall over i; GEMM's doall runs over row
+// *tiles* ti, so the A edge is local exactly under the T:1 chunk coupling
+// the balanced locality conditions derive, while B — read in full by every
+// tile row — cannot couple and becomes a C edge.
+ir::Program makeTiledMatmul() {
+  ir::Program prog;
+  auto& st = prog.symbols();
+  const Expr NT = Expr::symbol(st.parameter("NT"));
+  const Expr T = Expr::symbol(st.parameter("T"));
+  const Expr N = NT * T;
+
+  prog.declareArray("A", N * N);
+  prog.declareArray("B", N * N);
+  prog.declareArray("C", N * N);
+
+  // Row-major producer: the "pack" step of a blocked GEMM library.
+  {
+    PhaseBuilder b(prog, "INIT");
+    b.doall("i", c(0), N - c(1));
+    const Expr i = b.idx("i");
+    b.loop("j", c(0), N - c(1));
+    const Expr j = b.idx("j");
+    b.write("A", N * i + j);
+    b.write("B", N * i + j);
+    b.commit();
+  }
+
+  // The three-deep tile nest around the three-deep point nest. Subscripts
+  // decompose every axis as T*tile + point, the shape that makes descriptor
+  // union/coalescing re-assemble contiguous rows from tile fragments.
+  {
+    PhaseBuilder b(prog, "GEMM");
+    b.doall("ti", c(0), NT - c(1));
+    const Expr ti = b.idx("ti");
+    b.loop("tj", c(0), NT - c(1));
+    const Expr tj = b.idx("tj");
+    b.loop("tk", c(0), NT - c(1));
+    const Expr tk = b.idx("tk");
+    b.loop("ii", c(0), T - c(1));
+    const Expr ii = b.idx("ii");
+    b.loop("jj", c(0), T - c(1));
+    const Expr jj = b.idx("jj");
+    b.loop("kk", c(0), T - c(1));
+    const Expr kk = b.idx("kk");
+    b.read("A", N * (T * ti + ii) + T * tk + kk);
+    b.read("B", N * (T * tk + kk) + T * tj + jj);
+    b.update("C", N * (T * ti + ii) + T * tj + jj);
+    b.workPerAccess(2.0);  // multiply-add per inner access
+    b.commit();
+  }
+
+  prog.validate();
+  return prog;
+}
+
+// 2-D convolution with an explicit K x K window nest: the r/s loops slide
+// the read window over IMG, giving overlap distances of 1 in both axes and
+// a halo of width K-1 on the LOAD -> CONV edge. ACT consumes OUT pointwise
+// (an all-local chain closing the kernel).
+ir::Program makeConv2d() {
+  ir::Program prog;
+  auto& st = prog.symbols();
+  const Expr N = Expr::symbol(st.parameter("N"));
+  const Expr K = Expr::symbol(st.parameter("K"));
+
+  prog.declareArray("IMG", N * N);
+  prog.declareArray("OUT", N * N);
+  prog.declareArray("ACT", N * N);
+
+  {
+    PhaseBuilder b(prog, "LOAD");
+    b.doall("i", c(0), N - c(1));
+    const Expr i = b.idx("i");
+    b.loop("j", c(0), N - c(1));
+    const Expr j = b.idx("j");
+    b.write("IMG", N * i + j);
+    b.commit();
+  }
+
+  {
+    PhaseBuilder b(prog, "CONV");
+    b.doall("i", c(0), N - K);
+    const Expr i = b.idx("i");
+    b.loop("j", c(0), N - K);
+    const Expr j = b.idx("j");
+    // The window rows split as r = 0..K-2 plus a peeled last row. The
+    // peel matters to the analysis: a non-empty r loop asserts K >= 2,
+    // the fact the range analyzer needs to *prove* the window regions of
+    // consecutive doall iterations overlap (unprovable for a plain
+    // r = 0..K-1 nest, which leaves the edge conservatively C).
+    b.loop("r", c(0), K - c(2));
+    const Expr r = b.idx("r");
+    b.loop("s", c(0), K - c(1));
+    const Expr s = b.idx("s");
+    b.read("IMG", N * (i + r) + j + s);
+    b.read("IMG", N * (i + K - c(1)) + j + s);
+    b.update("OUT", N * i + j);  // accumulates the window sum
+    b.workPerAccess(2.0);        // multiply-add per tap
+    b.commit();
+  }
+
+  {
+    PhaseBuilder b(prog, "ACT");
+    b.doall("i", c(0), N - K);
+    const Expr i = b.idx("i");
+    b.loop("j", c(0), N - K);
+    const Expr j = b.idx("j");
+    b.read("OUT", N * i + j);
+    b.write("ACT", N * i + j);
+    b.commit();
+  }
+
+  prog.validate();
+  return prog;
+}
+
+// Blocked attention. Query rows are processed in NB blocks of TB (the
+// flash-attention outer blocking); keys/values have NK rows of head
+// dimension D. QK^T and PV are the two matmul-shaped phases; the row
+// softmax between them reduces into RW, which lives and dies inside the
+// phase (the paper's attribute P — privatized). K and V are read in full
+// by every query block: the LOAD_KV edges are the C edges this kernel
+// exists to exercise, while S and P flow block-locally.
+ir::Program makeAttention() {
+  ir::Program prog;
+  auto& st = prog.symbols();
+  const Expr NB = Expr::symbol(st.parameter("NB"));
+  const Expr TB = Expr::symbol(st.parameter("TB"));
+  const Expr NK = Expr::symbol(st.parameter("NK"));
+  const Expr D = Expr::symbol(st.parameter("D"));
+  const Expr NQ = NB * TB;
+
+  prog.declareArray("Q", NQ * D);
+  prog.declareArray("KM", NK * D);
+  prog.declareArray("VM", NK * D);
+  prog.declareArray("S", NQ * NK);
+  prog.declareArray("PM", NQ * NK);
+  prog.declareArray("RW", NQ);
+  prog.declareArray("O", NQ * D);
+
+  {
+    PhaseBuilder b(prog, "LOAD_Q");
+    b.doall("bi", c(0), NB - c(1));
+    const Expr bi = b.idx("bi");
+    b.loop("qi", c(0), TB - c(1));
+    const Expr qi = b.idx("qi");
+    b.loop("k", c(0), D - c(1));
+    const Expr k = b.idx("k");
+    b.write("Q", D * (TB * bi + qi) + k);
+    b.commit();
+  }
+
+  {
+    PhaseBuilder b(prog, "LOAD_KV");
+    b.doall("j", c(0), NK - c(1));
+    const Expr j = b.idx("j");
+    b.loop("k", c(0), D - c(1));
+    const Expr k = b.idx("k");
+    b.write("KM", D * j + k);
+    b.write("VM", D * j + k);
+    b.commit();
+  }
+
+  {
+    PhaseBuilder b(prog, "QK");
+    b.doall("bi", c(0), NB - c(1));
+    const Expr bi = b.idx("bi");
+    b.loop("qi", c(0), TB - c(1));
+    const Expr qi = b.idx("qi");
+    b.loop("j", c(0), NK - c(1));
+    const Expr j = b.idx("j");
+    b.loop("k", c(0), D - c(1));
+    const Expr k = b.idx("k");
+    b.read("Q", D * (TB * bi + qi) + k);
+    b.read("KM", D * j + k);
+    b.update("S", NK * (TB * bi + qi) + j);
+    b.workPerAccess(2.0);  // multiply-add per dot-product step
+    b.commit();
+  }
+
+  // Row softmax: accumulate the row statistic into RW, then rescale S into
+  // PM against it. RW is produced and consumed entirely inside the phase,
+  // so it carries the paper's attribute P.
+  {
+    PhaseBuilder b(prog, "SOFTMAX");
+    b.doall("bi", c(0), NB - c(1));
+    const Expr bi = b.idx("bi");
+    b.loop("qi", c(0), TB - c(1));
+    const Expr qi = b.idx("qi");
+    b.loop("j", c(0), NK - c(1));
+    const Expr j = b.idx("j");
+    const Expr q = TB * bi + qi;
+    b.read("S", NK * q + j);
+    b.update("RW", q);
+    b.read("RW", q);
+    b.write("PM", NK * q + j);
+    b.privatize("RW");
+    b.workPerAccess(3.0);  // exp + accumulate + normalize
+    b.commit();
+  }
+
+  {
+    PhaseBuilder b(prog, "PV");
+    b.doall("bi", c(0), NB - c(1));
+    const Expr bi = b.idx("bi");
+    b.loop("qi", c(0), TB - c(1));
+    const Expr qi = b.idx("qi");
+    b.loop("k2", c(0), NK - c(1));
+    const Expr k2 = b.idx("k2");
+    b.loop("d", c(0), D - c(1));
+    const Expr d = b.idx("d");
+    const Expr q = TB * bi + qi;
+    b.read("PM", NK * q + k2);
+    b.read("VM", D * k2 + d);
+    b.update("O", D * q + d);
+    b.workPerAccess(2.0);  // multiply-add
+    b.commit();
+  }
+
+  prog.validate();
+  return prog;
+}
+
+// Time-tiled batched stencil: one time tile = the STEP_EVEN/STEP_ODD
+// ping-pong, re-entered by the cyclic back edge. The doall runs over the
+// batch axis, so the natural distribution is BLOCK over whole instances
+// (chunk L) and both intra-tile edges plus the cyclic back edge form one
+// all-local L chain per array — swim's structure with instance-local
+// instead of row-halo reads.
+ir::Program makeStencilTT() {
+  ir::Program prog;
+  auto& st = prog.symbols();
+  const Expr BA = Expr::symbol(st.parameter("BA"));
+  const Expr L = Expr::symbol(st.parameter("L"));
+
+  prog.declareArray("A", BA * L);
+  prog.declareArray("B", BA * L);
+  prog.setCyclic(true);
+
+  const auto step = [&](const char* name, const char* src, const char* dst) {
+    PhaseBuilder b(prog, name);
+    b.doall("b", c(0), BA - c(1));
+    const Expr bi = b.idx("b");
+    b.loop("x", c(1), L - c(2));
+    const Expr x = b.idx("x");
+    b.read(src, L * bi + x - c(1));
+    b.read(src, L * bi + x);
+    b.read(src, L * bi + x + c(1));
+    b.write(dst, L * bi + x);
+    b.workPerAccess(2.0);
+    b.commit();
+  };
+  step("STEP_EVEN", "A", "B");
+  step("STEP_ODD", "B", "A");
+
+  prog.validate();
+  return prog;
+}
+
+}  // namespace ad::codes

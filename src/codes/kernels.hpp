@@ -1,0 +1,57 @@
+// The AI/HPC kernel workload family (ROADMAP: "New workload family").
+//
+// AutoLALA-style targets for the descriptor algebra: the loop nests modern
+// locality analyses are judged on, expressed in the same phase IR as the
+// 1999 six-code suite. Each kernel stresses a different part of the engine:
+//
+//   matmul     — tiled GEMM (six-deep nest, tile parameter T, NT tiles per
+//                axis). The tile subscripts N*(T*ti+ii) + T*tk+kk force
+//                descriptor union/coalescing across tiles; the INIT producer
+//                phase writes rows while GEMM consumes row *tiles*, a T:1
+//                chunk coupling (balanced locality condition, like mgrid's
+//                2:1), and B is read wholesale by every tile row — a true
+//                C edge.
+//   conv2d     — 2-D convolution with a K x K sliding window: overlap
+//                distances Delta_s in both axes, frontier halos of width
+//                K-1 on the LOAD -> CONV edge, and a pointwise ACT chain.
+//   attention  — blocked attention: QK^T and PV are two chained
+//                matmul-shaped phases with the row-softmax reduction between
+//                them (privatized row accumulator); K and V are read in full
+//                by every query block, exercising C-edge placement around an
+//                otherwise local S/P chain.
+//   stencil_tt — time-tiled batched stencil: a ping-pong pair of 3-point
+//                smoothing steps (one time tile) over BA independent
+//                instances inside a cyclic program — the cyclic L chains of
+//                swim, but batch-parallel instead of row-parallel.
+//
+// All size parameters are plain (not pow2) symbols; blocked extents are
+// written as products (N == NT*T), so both power-of-two and
+// non-power-of-two bindings analyze and validate identically. The .adl
+// twins under examples/ must stay byte-equivalent to these builders
+// (tests/frontend_test.cpp pins golden equality).
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace ad::codes {
+
+/// Tiled matrix multiply C = A * B on N x N matrices, N == NT * T.
+/// Phases: INIT (row-major producer of A and B), GEMM (ti/tj/tk tile loops
+/// around an ii/jj/kk point nest; doall over ti).
+[[nodiscard]] ir::Program makeTiledMatmul();
+
+/// 2-D convolution OUT = IMG (*) W for a K x K window on an N x N image,
+/// followed by a pointwise activation. Phases: LOAD (producer of IMG),
+/// CONV (doall over output rows, sliding-window reads), ACT (pointwise).
+[[nodiscard]] ir::Program makeConv2d();
+
+/// Blocked attention O = softmax(Q K^T) V with NB query blocks of TB rows,
+/// NK keys, head dimension D. Phases: LOAD_Q, LOAD_KV, QK, SOFTMAX
+/// (privatized row accumulator), PV.
+[[nodiscard]] ir::Program makeAttention();
+
+/// Time-tiled batched 3-point stencil over BA instances of length L:
+/// STEP_EVEN (A -> B) and STEP_ODD (B -> A) inside a cyclic program.
+[[nodiscard]] ir::Program makeStencilTT();
+
+}  // namespace ad::codes

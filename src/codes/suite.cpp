@@ -1,5 +1,6 @@
 #include "codes/suite.hpp"
 
+#include "codes/kernels.hpp"
 #include "codes/tfft2.hpp"
 #include "support/diagnostics.hpp"
 
@@ -34,6 +35,19 @@ const std::vector<CodeInfo>& benchmarkSuite() {
       {"hydro2d", makeHydro2d, {{"N", 512}}, {{"N", 32}}, {{"N", 64}}},
       {"mgrid", makeMgrid, {{"N", 16384}}, {{"N", 256}}, {{"N", 1024}}},
       {"trfd", makeTrfd, {{"N", 768}}, {{"N", 32}}, {{"N", 64}}},
+      // The AI/HPC kernel family (codes/kernels.hpp). Every kernel carries
+      // both binding classes the analysis must serve: the small sizes are
+      // deliberately non-powers-of-two, the sim sizes powers of two.
+      {"matmul", makeTiledMatmul, {{"NT", 16}, {"T", 16}}, {{"NT", 3}, {"T", 4}},
+       {{"NT", 4}, {"T", 8}}},
+      {"conv2d", makeConv2d, {{"N", 256}, {"K", 3}}, {{"N", 14}, {"K", 3}},
+       {{"N", 48}, {"K", 3}}},
+      {"attention", makeAttention,
+       {{"NB", 16}, {"TB", 16}, {"NK", 256}, {"D", 64}},
+       {{"NB", 3}, {"TB", 4}, {"NK", 10}, {"D", 6}},
+       {{"NB", 4}, {"TB", 8}, {"NK", 32}, {"D", 16}}},
+      {"stencil_tt", makeStencilTT, {{"BA", 64}, {"L", 1024}}, {{"BA", 6}, {"L", 20}},
+       {{"BA", 32}, {"L", 128}}},
   };
   return suite;
 }

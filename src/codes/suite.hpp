@@ -15,6 +15,13 @@
 //              between grid levels)
 //   trfd     — triangular loop nests (non-rectangular iteration spaces,
 //              conservative descriptor bounds)
+//
+// On top of the six, the suite carries the AI/HPC kernel family
+// (codes/kernels.hpp): tiled matmul, 2-D convolution, blocked attention and
+// a time-tiled batched stencil — the AutoLALA-style loop nests whose tiled
+// and sliding-window subscripts stress descriptor union/coalescing, overlap
+// distances and C-edge placement in ways the 1999 codes never produce
+// (EXPERIMENTS.md section "AI/HPC kernel family").
 #pragma once
 
 #include <cstdint>
@@ -51,7 +58,8 @@ struct CodeInfo {
   std::map<std::string, std::int64_t> simParams;
 };
 
-/// All six codes with their study parameters.
+/// The whole suite — the six 1999 codes followed by the AI/HPC kernel
+/// family — with study, small (non-pow2 for the kernels) and sim sizes.
 [[nodiscard]] const std::vector<CodeInfo>& benchmarkSuite();
 
 }  // namespace ad::codes

@@ -138,7 +138,14 @@ std::optional<bool> IterationDescriptor::hasOverlap(const sym::RangeAnalyzer& ra
   // a separate term). Reverse-direction pairs are the Delta_r symmetry, not
   // overlap.
   if (terms_.empty()) return std::nullopt;
+  // The question is existential, so one provably-sharing pair answers "yes"
+  // no matter how many other pairs stay indeterminate; only a descriptor
+  // where nothing is provable and some pair *might* share degrades to
+  // "unknown" (multi-term sliding windows are the case that needs this: the
+  // peeled-row term provably re-reads the body rows even when the body
+  // term's self-overlap cannot be decided).
   bool any = false;
+  bool indeterminate = false;
   for (const auto& u : terms_) {
     if (u.deltaP.isZero()) continue;  // no parallel advance
     const auto a = absStride(u.deltaP, ra);
@@ -156,14 +163,19 @@ std::optional<bool> IterationDescriptor::hasOverlap(const sym::RangeAnalyzer& ra
           ra.proveLT(uHi, vLo) || ra.proveLT(vHi, uLo);
       if (separated) continue;
       const bool intersects = ra.proveLE(uLo, vHi) && ra.proveLE(vLo, uHi);
-      if (!intersects) return std::nullopt;  // indeterminate pair
+      if (!intersects) {
+        indeterminate = true;  // neither separated nor provably sharing
+        continue;
+      }
       // Intervals meet; a residue-class argument can still disprove sharing
       // for strided patterns (and must agree for both terms).
       if (&u == &v && residueDisjoint(u, *a, ra)) continue;
       any = true;
     }
   }
-  return any;
+  if (any) return true;
+  if (indeterminate) return std::nullopt;
+  return false;
 }
 
 std::optional<Expr> IterationDescriptor::overlapDistance(const sym::RangeAnalyzer& ra) const {

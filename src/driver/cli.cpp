@@ -41,7 +41,7 @@ std::string cliUsage(std::string_view argv0) {
       "  --validate=MODE trace (enumerate), symbolic (closed form), or both\n"
       "                  (differential: the two must agree exactly); see\n"
       "                  docs/VALIDATION.md\n"
-      "  --suite         run all six benchmark codes as one batch\n"
+      "  --suite         run the whole benchmark suite (six 1999 codes +\n                  the AI/HPC kernel family) as one batch\n"
       "  --jobs N        worker threads, N >= 1\n"
       "  --fault SPEC    deterministic fault injection: tag@N, tag@N+ or\n"
       "                  tag%P:SEED, comma-separated (see docs/ROBUSTNESS.md)\n"

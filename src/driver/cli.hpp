@@ -21,7 +21,7 @@ struct CliOptions {
   std::int64_t H = 8;
 
   bool simulate = false;  ///< --simulate: trace-replay + Theorem-1/2 check
-  bool suite = false;     ///< --suite: run the whole six-code benchmark suite
+  bool suite = false;     ///< --suite: run the whole benchmark suite (six 1999 codes + kernels)
 
   /// --validate=trace|symbolic|both: which validation oracle(s) to run (see
   /// docs/VALIDATION.md). Empty = none requested (--simulate implies trace).

@@ -139,13 +139,25 @@ dsm::ExecutionPlan derivePlan(const ir::Program& program, const lcg::LCG& lcg,
         // reach (<= 2a) becomes replicated halo; far-shifted copies (the
         // Delta_d/Delta_r symmetries) are excluded — they are served by the
         // distribution's own alignment (or folded form), not replication.
+        // A proven overlap width extends the cutoff: reach inside Delta_s is
+        // window re-reading, not a shifted copy, and Theorem 1c replicates
+        // exactly that region (deep multi-row windows exceed 2a while their
+        // every row still overlaps the neighbour tile). This keeps the plan
+        // consistent with the ILP's frontier costs, which already charge the
+        // refresh at the full overlap distance.
+        std::optional<std::int64_t> overlapWidth;
+        if (node.info->overlapDistance) {
+          overlapWidth = evalInt(*node.info->overlapDistance, params, "overlap width");
+        }
         std::int64_t halo = 0;
         for (const auto& t : terms) {
           const std::int64_t base = evalInt(t.tau0, params, "term base");
           const std::int64_t top = base + evalInt(t.seqSpan, params, "term span");
           const std::int64_t reach =
               std::max<std::int64_t>({0, top - (a - 1), -base});
-          if (reach <= 2 * a) halo = std::max(halo, reach);
+          if (reach <= 2 * a || (overlapWidth && reach <= *overlapWidth)) {
+            halo = std::max(halo, reach);
+          }
         }
         // Replication must pay for itself: compare the frontier-refresh cost
         // against serving the boundary elements remotely. With tiny blocks

@@ -52,17 +52,23 @@ bool DataDistribution::isLocal(std::int64_t addr, std::int64_t pe, std::int64_t 
   if (!hasOwner()) return true;  // replicated / private copies
   if (owner(addr, processors) == pe) return true;
   if (halo <= 0) return false;
-  // Replicated halos: pe also holds copies of `halo` elements adjacent to
-  // each of its blocks (checked on the folded address for folded kinds).
+  // Replicated halos: pe also holds copies of the `halo` elements adjacent
+  // to each of its blocks (checked on the folded address for folded kinds).
+  // A halo deeper than one block — multi-row sliding windows — reaches
+  // across several neighbouring blocks; past a full period it covers
+  // everything. Must mirror sym::localIntervals exactly (the differential
+  // oracles compare byte for byte).
   std::int64_t a = addr;
   if (kind == Kind::kFoldedBlockCyclic) {
     const std::int64_t m = addr % fold;
     a = std::min(m, fold - m);
   }
-  const std::int64_t b = a / block;
-  const std::int64_t within = a - b * block;
-  if (within < halo && euclidMod(b - 1, processors) == pe) return true;
-  if (within >= block - halo && euclidMod(b + 1, processors) == pe) return true;
+  const std::int64_t period = block * processors;
+  const std::int64_t hl = std::min(halo, period);
+  // Distance forward from the end of pe's block to `a`, and backward from
+  // the start of pe's block, both within the period.
+  if (euclidMod(a - (pe + 1) * block, period) < hl) return true;
+  if (euclidMod(pe * block - 1 - a, period) < hl) return true;
   return false;
 }
 
@@ -199,8 +205,12 @@ SimulationResult simulate(const ir::Program& program, const ir::Bindings& params
     }
 
     // Frontier refreshes: before a phase reading an array through a halo,
-    // the owners push the replicated overlap regions (aggregated puts).
-    for (const auto& arr : program.arrays()) {
+    // the owners push the replicated overlap regions (aggregated puts). With
+    // a single processor every block boundary is intra-processor — the
+    // "refresh" would be a self-put moving nothing over the network — so the
+    // whole pass only exists for H >= 2 (the element-exact redistribution
+    // loop above gets this for free from its src == dst owner check).
+    if (H > 1) for (const auto& arr : program.arrays()) {
       const auto hit = plan.halo.find(arr.name);
       if (hit == plan.halo.end() || hit->second[k] <= 0) continue;
       if (!phase.reads(arr.name) || phase.isPrivatized(arr.name)) continue;

@@ -156,13 +156,13 @@ PeriodicIntervalSet localIntervals(std::int64_t block, std::int64_t processors, 
   PeriodicIntervalSet set(checkedMul(block, processors));
   set.addWrapped(pe * block, block);
   if (halo > 0) {
-    const std::int64_t hl = std::min(halo, block);
-    // pe holds the first `hl` elements of the successor block (the block b
-    // with b-1 == pe mod P) and the last `hl` of the predecessor block.
-    const std::int64_t succ = (pe + 1) % processors;
-    const std::int64_t pred = euclidMod(pe - 1, processors);
-    set.addWrapped(succ * block, hl);
-    set.addWrapped(pred * block + (block - hl), hl);
+    // pe holds the `hl` elements following each of its blocks and the `hl`
+    // elements preceding them. A halo deeper than one block (multi-row
+    // sliding windows) keeps reaching across further neighbours; addWrapped
+    // saturates once the whole period is covered.
+    const std::int64_t hl = std::min(halo, checkedMul(block, processors));
+    set.addWrapped((pe + 1) * block, hl);
+    set.addWrapped(pe * block - hl, hl);
   }
   return set;
 }

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <set>
+#include <string>
+
 #include "codes/suite.hpp"
 #include "codes/tfft2.hpp"
 #include "driver/pipeline.hpp"
@@ -147,6 +151,150 @@ TEST(Trfd, TriangularNestsAnalyzeConservatively) {
   EXPECT_GT(result.planned.parallelTime(), 0.0);
 }
 
+// --- AI/HPC kernel family (codes/kernels.hpp) ------------------------------
+
+/// Suite lookup by name; the kernels sit behind the six 1999 codes.
+const CodeInfo& kernelInfo(const std::string& name) {
+  for (const auto& code : benchmarkSuite()) {
+    if (code.name == name) return code;
+  }
+  ADD_FAILURE() << "no suite code named " << name;
+  std::abort();
+}
+
+TEST(Matmul, TiledSubscriptsCoalesceButForceRedistribution) {
+  const auto& info = kernelInfo("matmul");
+  const ir::Program prog = info.build();
+  const auto params = bindParams(prog, info.smallParams);  // NT=3, T=4: non-pow2
+  const auto lcg = lcg::buildLCG(prog, params, 8);
+
+  // A: written by rows in INIT, read by T-row tiles in GEMM. The tile reads
+  // coalesce into one descriptor per chunk, but the chunk granularities
+  // differ (1 row vs T rows) — a genuine C edge / redistribution.
+  const auto& ga = lcg.graph("A");
+  ASSERT_EQ(ga.nodes.size(), 2u);
+  ASSERT_EQ(ga.edges.size(), 1u);
+  EXPECT_EQ(ga.edges[0].label, loc::EdgeLabel::kComm);
+
+  // B: every GEMM iteration reads the whole array (tk spans all tiles), so
+  // the read descriptor is iteration-invariant — slope 0, broadcast C edge.
+  const auto& gb = lcg.graph("B");
+  ASSERT_EQ(gb.edges.size(), 1u);
+  EXPECT_EQ(gb.edges[0].label, loc::EdgeLabel::kComm);
+
+  // C: single R/W reduction node, owner-computes, no edges at all.
+  const auto& gc = lcg.graph("C");
+  ASSERT_EQ(gc.nodes.size(), 1u);
+  EXPECT_EQ(gc.nodes[0].attr, loc::Attr::kReadWrite);
+  EXPECT_TRUE(gc.edges.empty());
+
+  // Descriptors stay exact supersets of the walker on the tiled read.
+  const auto& gemm = prog.phase(1);
+  const auto infoA = loc::analyzePhaseArray(prog, 1, "A");
+  for (std::int64_t ti = 0; ti < ir::parallelTripCount(gemm, params); ++ti) {
+    const auto truth = ir::touchedAddressesInIteration(prog, gemm, "A", params, ti);
+    const auto predicted = infoA.id.addressesAt(ti, params);
+    const std::set<std::int64_t> predSet(predicted.begin(), predicted.end());
+    for (const auto a : truth) EXPECT_TRUE(predSet.count(a)) << "ti=" << ti << " a=" << a;
+  }
+}
+
+TEST(Conv2d, SlidingWindowNeedsHaloRowsOnly) {
+  const auto& info = kernelInfo("conv2d");
+  const ir::Program prog = info.build();
+  driver::PipelineConfig config;
+  config.params = bindParams(prog, info.smallParams);
+  config.processors = 8;
+  const auto result = driver::analyzeAndSimulate(prog, config);
+  ASSERT_TRUE(result.solution.feasible);
+
+  // OUT flows CONV -> ACT under the same row distribution: an L edge.
+  const auto& gout = result.lcg.graph("OUT");
+  ASSERT_EQ(gout.edges.size(), 1u);
+  EXPECT_EQ(gout.edges[0].label, loc::EdgeLabel::kLocal);
+
+  // The K x K window makes the IMG read region per iteration K rows deep:
+  // overlapping storage with distance (K-1)*N. The LOAD -> CONV edge stays
+  // L under one row-block distribution; the only communication is the
+  // frontier halo refresh of those K-1 boundary rows.
+  const auto infoImg = loc::analyzePhaseArray(prog, 1, "IMG");
+  ASSERT_TRUE(infoImg.overlap.has_value());
+  EXPECT_TRUE(*infoImg.overlap);
+  const auto& gimg = result.lcg.graph("IMG");
+  ASSERT_EQ(gimg.edges.size(), 1u);
+  EXPECT_EQ(gimg.edges[0].label, loc::EdgeLabel::kLocal);
+  ASSERT_EQ(result.planned.redistributions.size(), 1u);
+  EXPECT_EQ(result.planned.redistributions[0].array, "IMG");
+  EXPECT_TRUE(result.planned.redistributions[0].frontier);
+
+  // The plan still wins: naive pays fine-grain window traffic every phase.
+  EXPECT_LE(result.planned.parallelTime(), result.naive.parallelTime() * 1.05);
+}
+
+TEST(Attention, ChainStaysLocalWhileKVBroadcasts) {
+  const auto& info = kernelInfo("attention");
+  const ir::Program prog = info.build();
+  driver::PipelineConfig config;
+  config.params = bindParams(prog, info.smallParams);
+  config.processors = 8;
+  const auto result = driver::analyzeAndSimulate(prog, config);
+  ASSERT_TRUE(result.solution.feasible);
+
+  // The query-side dataflow Q -> S -> PM -> O all rides one block-of-queries
+  // distribution: every edge on those arrays is L.
+  for (const char* arr : {"Q", "S", "PM"}) {
+    for (const auto& e : result.lcg.graph(arr).edges) {
+      EXPECT_EQ(e.label, loc::EdgeLabel::kLocal) << arr;
+    }
+  }
+  // K and V are read wholesale by every query block: C edges (the broadcast).
+  for (const char* arr : {"KM", "VM"}) {
+    const auto& g = result.lcg.graph(arr);
+    ASSERT_EQ(g.edges.size(), 1u) << arr;
+    EXPECT_EQ(g.edges[0].label, loc::EdgeLabel::kComm) << arr;
+  }
+  EXPECT_EQ(result.planned.redistributions.size(), 2u);
+
+  // The softmax row accumulator is privatized: a single P node, replicated,
+  // never a cross-phase dependence.
+  const auto& grw = result.lcg.graph("RW");
+  ASSERT_EQ(grw.nodes.size(), 1u);
+  EXPECT_EQ(grw.nodes[0].attr, loc::Attr::kPrivatized);
+  EXPECT_TRUE(grw.edges.empty());
+}
+
+TEST(StencilTT, CyclicPingPongFormsSingleLocalChains) {
+  const auto& info = kernelInfo("stencil_tt");
+  const ir::Program prog = info.build();
+  const auto params = bindParams(prog, info.smallParams);
+  const auto lcg = lcg::buildLCG(prog, params, 8);
+
+  // Each ping-pong buffer alternates W/R across the two steps; the x+-1
+  // reads stay inside one batch row, so every edge — including the cyclic
+  // back edge — is L and each array forms exactly one chain.
+  for (const char* arr : {"A", "B"}) {
+    const auto& g = lcg.graph(arr);
+    ASSERT_EQ(g.edges.size(), 2u) << arr;
+    EXPECT_TRUE(g.edges.back().backEdge) << arr;
+    for (const auto& e : g.edges) {
+      EXPECT_EQ(e.label, loc::EdgeLabel::kLocal) << arr;
+    }
+    EXPECT_EQ(g.chains().size(), 1u) << arr;
+  }
+
+  // One distribution serves the whole time loop: no redistribution, no
+  // remote accesses in the planned execution.
+  driver::PipelineConfig config;
+  config.params = params;
+  config.processors = 8;
+  const auto result = driver::analyzeAndSimulate(prog, config);
+  ASSERT_TRUE(result.solution.feasible);
+  EXPECT_TRUE(result.planned.redistributions.empty());
+  for (const auto& ph : result.planned.phases) {
+    EXPECT_EQ(ph.remoteAccesses, 0) << ph.phase;
+  }
+}
+
 // Pipeline smoke test across the whole suite at small sizes and several
 // processor counts: everything must analyze, solve, plan and simulate.
 class SuiteSweep : public ::testing::TestWithParam<std::tuple<std::size_t, std::int64_t>> {};
@@ -166,7 +314,8 @@ TEST_P(SuiteSweep, PipelineRuns) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCodes, SuiteSweep,
-                         ::testing::Combine(::testing::Range<std::size_t>(0, 6),
+                         ::testing::Combine(::testing::Range<std::size_t>(
+                                                0, codes::benchmarkSuite().size()),
                                             ::testing::Values<std::int64_t>(2, 4, 8)),
                          [](const auto& info) {
                            return codes::benchmarkSuite()[std::get<0>(info.param)].name + "_H" +

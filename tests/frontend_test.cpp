@@ -1,6 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "codes/suite.hpp"
 #include "descriptors/phase_descriptor.hpp"
+#include "driver/pipeline.hpp"
+#include "driver/serialize.hpp"
 #include "frontend/parser.hpp"
 
 namespace ad::frontend {
@@ -187,6 +194,74 @@ TEST(ParseProgram, ErrorsCarryLocation) {
     EXPECT_EQ(e.line(), 3);
     EXPECT_GT(e.column(), 0);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip: every .adl twin of a suite code must analyze identically to
+// its C++ builder. The comparison runs through the same golden snapshots
+// golden_test pins for the builders, so .adl, builder and snapshot form one
+// three-way agreement — a ref reordered in only one of them shows as a
+// readable JSON diff.
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class AdlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AdlRoundTrip, MatchesBuilderGolden) {
+  const std::string name = GetParam();
+  const auto source = slurp(std::string(AD_EXAMPLES_DIR) + "/" + name + ".adl");
+  ASSERT_TRUE(source) << "missing examples/" << name << ".adl";
+  const ir::Program parsed = parseProgram(*source);
+
+  const codes::CodeInfo* info = nullptr;
+  for (const auto& code : codes::benchmarkSuite()) {
+    if (code.name == name) info = &code;
+  }
+  ASSERT_NE(info, nullptr) << name << " is not a suite code";
+
+  // Same configuration golden_test uses for the C++ builder.
+  driver::PipelineConfig config;
+  config.params = codes::bindParams(parsed, info->smallParams);
+  config.processors = 8;
+  config.simulatePlan = false;
+  config.simulateBaseline = false;
+  const auto result = driver::analyzeAndSimulate(parsed, config);
+  const std::string got = driver::serializeGolden(result, parsed);
+
+  const auto want = slurp(std::string(AD_GOLDEN_DIR) + "/" + name + ".json");
+  ASSERT_TRUE(want) << "missing golden for " << name << " — run scripts/update_goldens.sh";
+  EXPECT_EQ(*want, got) << "examples/" << name
+                        << ".adl no longer analyzes like its C++ builder";
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, AdlRoundTrip,
+                         ::testing::Values("matmul", "conv2d", "attention", "stencil_tt"));
+
+// adi.adl has no C++ builder to pin it to, but it must keep parsing and
+// running the full pipeline (it is the auto_distribute example input).
+TEST(AdlRoundTrip, AdiParsesAndAnalyzes) {
+  const auto source = slurp(std::string(AD_EXAMPLES_DIR) + "/adi.adl");
+  ASSERT_TRUE(source);
+  const ir::Program prog = parseProgram(*source);
+  EXPECT_TRUE(prog.cyclic());
+  ASSERT_EQ(prog.phases().size(), 2u);
+
+  driver::PipelineConfig config;
+  config.params = codes::bindParams(prog, {{"N", 32}});
+  config.processors = 8;
+  const auto result = driver::analyzeAndSimulate(prog, config);
+  ASSERT_TRUE(result.solution.feasible);
+  // The row/column sweep alternation forces the transpose C edge the file's
+  // comments promise.
+  EXPECT_GT(result.lcg.communicationEdges(), 0u);
+  EXPECT_LE(result.planned.parallelTime(), result.naive.parallelTime() * 1.05);
 }
 
 }  // namespace

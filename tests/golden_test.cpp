@@ -1,6 +1,7 @@
 // Golden-file regression suite for the analysis engine.
 //
-// For every code of the six-code suite, the serialized LCG (nodes, edge
+// For every code of the benchmark suite (six 1999 codes + the AI/HPC kernel
+// family), the serialized LCG (nodes, edge
 // labels, balanced conditions) and distribution plan must match the checked-in
 // snapshot byte for byte. Any analysis change — intended or not — shows up as
 // a readable JSON diff.
@@ -17,6 +18,7 @@
 #include "driver/pipeline.hpp"
 #include "driver/serialize.hpp"
 #include "locality/analysis.hpp"
+#include "support/thread_pool.hpp"
 #include "symbolic/intern.hpp"
 
 namespace ad {
@@ -114,12 +116,42 @@ TEST_P(GoldenFile, DegenerateHashMatchesSnapshot) {
   EXPECT_EQ(*want, got) << info.name << " diverged under the degenerate-hash hook";
 }
 
+// The batched engine at any worker count must reproduce the snapshot byte
+// for byte (jobs only changes speed, never output). jobs=1 runs the pool
+// path with a single worker; jobs=8 exercises work stealing and concurrent
+// memo population on the same item.
+TEST_P(GoldenFile, MatchesSnapshotAtJobs1And8) {
+  if (const char* update = std::getenv("AD_UPDATE_GOLDENS"); update && *update == '1') {
+    GTEST_SKIP() << "golden refresh run";
+  }
+  const codes::CodeInfo& info = codes::benchmarkSuite()[GetParam()];
+  const ir::Program program = info.build();
+  const auto want = readFile(goldenPath(info.name));
+  ASSERT_TRUE(want) << "missing golden file for " << info.name;
+
+  for (const std::size_t jobs : {1u, 8u}) {
+    driver::BatchItem item;
+    item.program = &program;
+    item.label = info.name;
+    item.config.params = codes::bindParams(program, info.smallParams);
+    item.config.processors = 8;
+    item.config.simulatePlan = false;
+    item.config.simulateBaseline = false;
+    const auto results = driver::analyzeBatch({item}, jobs);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].has_value()) << info.name << " jobs=" << jobs;
+    const std::string got = driver::serializeGolden(*results[0], program);
+    EXPECT_EQ(*want, got) << info.name << " diverged from the snapshot at jobs=" << jobs;
+  }
+}
+
 std::string codeName(const ::testing::TestParamInfo<std::size_t>& p) {
   return codes::benchmarkSuite()[p.param].name;
 }
 
 INSTANTIATE_TEST_SUITE_P(Suite, GoldenFile,
-                         ::testing::Range<std::size_t>(0, 6), codeName);
+                         ::testing::Range<std::size_t>(0, codes::benchmarkSuite().size()),
+                         codeName);
 
 }  // namespace
 }  // namespace ad

@@ -488,6 +488,142 @@ TEST_P(SimplifyFuzz, HomogenizeCoversBothTerms) {
   }
 }
 
+// Sliding-window nests (conv-style): subscripts i+r with the window depth a
+// loop of its own. Exercises multi-term descriptors whose regions of
+// consecutive parallel iterations overlap, the shape the kernel family
+// feeds the analysis. Simplification must stay exact, and the three-valued
+// overlap answer must agree with enumerated ground truth whenever it
+// commits to yes or no.
+TEST_P(SimplifyFuzz, SlidingWindowStaysExactAndOverlapIsSound) {
+  std::mt19937 rng(GetParam() + 200);
+  std::uniform_int_distribution<std::int64_t> nDist(6, 12);
+  std::uniform_int_distribution<std::int64_t> kDist(2, 4);
+  std::uniform_int_distribution<std::int64_t> offs(0, 3);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::int64_t N = nDist(rng);
+    const std::int64_t K = kDist(rng);
+    const std::int64_t iTrip = N - K + 1;
+
+    ir::Program prog;
+    prog.declareArray("A", c(100000));
+    ir::PhaseBuilder b(prog, "f");
+    b.doall("i", c(0), c(iTrip - 1));
+    b.loop("r", c(0), c(K - 1));
+    b.loop("s", c(0), c(K - 1));
+    const Expr iE = b.idx("i");
+    const Expr rE = b.idx("r");
+    const Expr sE = b.idx("s");
+    const std::int64_t base = offs(rng);
+    // Full 2-D window, or a 1-D column window (r unused), at random.
+    if (coin(rng)) {
+      b.read("A", c(N) * (iE + rE) + sE + c(base));
+    } else {
+      b.read("A", iE + sE + c(base));
+    }
+    if (coin(rng)) b.read("A", c(N) * iE + sE + c(base));  // extra center-row term
+    b.commit();
+    prog.validate();
+
+    const auto assumptions = prog.phase(0).assumptions(prog.symbols());
+    const sym::RangeAnalyzer ra(assumptions);
+    const ir::Bindings params;
+
+    desc::PhaseDescriptor pd = desc::buildPhaseDescriptor(prog, 0, "A");
+    const auto raw = enumerateAddresses(pd, iTrip, params);
+    desc::coalesceStrides(pd, ra);
+    const auto coalesced = enumerateAddresses(pd, iTrip, params);
+    for (const std::int64_t a : raw) {
+      ASSERT_TRUE(coalesced.count(a)) << "coalescing dropped " << a << "\n" << prog.str();
+    }
+    desc::unionTerms(pd, ra);
+    const auto merged = enumerateAddresses(pd, iTrip, params);
+    EXPECT_EQ(coalesced, merged) << prog.str();
+
+    // Ground truth: do the regions of consecutive parallel iterations share
+    // an element? A committed yes/no from the analyzer must match; only
+    // "unknown" is unconstrained.
+    const auto id = desc::buildIterationDescriptor(pd);
+    bool truthOverlap = false;
+    for (std::int64_t it = 0; it + 1 < iTrip && !truthOverlap; ++it) {
+      const auto cur = id.addressesAt(it, params);
+      const std::set<std::int64_t> curSet(cur.begin(), cur.end());
+      for (const std::int64_t a : id.addressesAt(it + 1, params)) {
+        if (curSet.count(a)) {
+          truthOverlap = true;
+          break;
+        }
+      }
+    }
+    const auto claimed = id.hasOverlap(ra);
+    if (claimed.has_value() && iTrip > 1) {
+      EXPECT_EQ(*claimed, truthOverlap) << prog.str();
+    }
+  }
+}
+
+// Tiled nests (GEMM-style): every axis decomposed as T*tile + point with
+// the tile and point trip counts drawn independently (powers of two and
+// not). Union/coalescing must reassemble the fragments without gaining or
+// losing a single address.
+TEST_P(SimplifyFuzz, TiledSubscriptsStayExact) {
+  std::mt19937 rng(GetParam() + 300);
+  std::uniform_int_distribution<std::int64_t> tiles(2, 4);
+  std::uniform_int_distribution<std::int64_t> points(2, 5);
+  std::uniform_int_distribution<std::int64_t> offs(0, 3);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::int64_t NT = tiles(rng);
+    const std::int64_t T = points(rng);
+    const std::int64_t N = NT * T;
+
+    ir::Program prog;
+    prog.declareArray("A", c(100000));
+    ir::PhaseBuilder b(prog, "f");
+    b.doall("ti", c(0), c(NT - 1));
+    b.loop("tk", c(0), c(NT - 1));
+    b.loop("ii", c(0), c(T - 1));
+    b.loop("kk", c(0), c(T - 1));
+    const Expr ti = b.idx("ti");
+    const Expr tk = b.idx("tk");
+    const Expr ii = b.idx("ii");
+    const Expr kk = b.idx("kk");
+    const std::int64_t base = offs(rng);
+    // Row-tile access (A-shaped), full-sweep access (B-shaped), or both.
+    const bool rowTile = coin(rng) != 0;
+    if (rowTile) b.read("A", c(N) * (c(T) * ti + ii) + c(T) * tk + kk + c(base));
+    if (!rowTile || coin(rng)) b.read("A", c(N) * (c(T) * tk + kk) + c(T) * ti + ii + c(base));
+    b.commit();
+    prog.validate();
+
+    const auto assumptions = prog.phase(0).assumptions(prog.symbols());
+    const sym::RangeAnalyzer ra(assumptions);
+    const ir::Bindings params;
+
+    desc::PhaseDescriptor pd = desc::buildPhaseDescriptor(prog, 0, "A");
+    const auto raw = enumerateAddresses(pd, NT, params);
+    desc::coalesceStrides(pd, ra);
+    const auto coalesced = enumerateAddresses(pd, NT, params);
+    for (const std::int64_t a : raw) {
+      ASSERT_TRUE(coalesced.count(a)) << "coalescing dropped " << a << "\n" << prog.str();
+    }
+    desc::PhaseDescriptor unioned = pd;
+    desc::unionTerms(unioned, ra);
+    const auto merged = enumerateAddresses(unioned, NT, params);
+    EXPECT_EQ(coalesced, merged) << prog.str();
+
+    // Walker ground truth stays covered end to end.
+    for (std::int64_t it = 0; it < NT; ++it) {
+      for (const std::int64_t a :
+           ir::touchedAddressesInIteration(prog, prog.phase(0), "A", params, it)) {
+        EXPECT_TRUE(merged.count(a)) << "iter " << it << " addr " << a << "\n" << prog.str();
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyFuzz, ::testing::Values(41u, 42u, 43u));
 
 // ---------------------------------------------------------------------------

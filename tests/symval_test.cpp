@@ -184,6 +184,104 @@ INSTANTIATE_TEST_SUITE_P(Suite, SymvalSuite,
                          ::testing::Range<std::size_t>(0, codes::benchmarkSuite().size()),
                          [](const auto& i) { return codes::benchmarkSuite()[i.param].name; });
 
+bool hasStage(const std::vector<support::DegradationEvent>& events, std::string_view stage) {
+  for (const auto& e : events) {
+    if (e.stage == stage) return true;
+  }
+  return false;
+}
+
+// --- AI/HPC kernel family: both binding classes at P in {1, 4, 8} -----------
+
+/// The kernel workload family (codes/kernels.hpp) must hold the differential
+/// guarantee under BOTH binding classes: power-of-two sizes (where tile and
+/// chunk boundaries line up with block boundaries) and non-power-of-two sizes
+/// (where every boundary is misaligned and the interval algebra has to earn
+/// its halo slivers). The acceptance bar of the kernel-family PR.
+struct KernelCase {
+  const char* name;
+  std::map<std::string, std::int64_t> pow2;
+  std::map<std::string, std::int64_t> nonPow2;
+};
+
+const std::vector<KernelCase>& kernelCases() {
+  static const std::vector<KernelCase> cases = {
+      {"matmul", {{"NT", 4}, {"T", 4}}, {{"NT", 3}, {"T", 5}}},
+      {"conv2d", {{"N", 16}, {"K", 4}}, {{"N", 18}, {"K", 3}}},
+      {"attention",
+       {{"NB", 4}, {"TB", 4}, {"NK", 16}, {"D", 8}},
+       {{"NB", 3}, {"TB", 5}, {"NK", 11}, {"D", 7}}},
+      {"stencil_tt", {{"BA", 8}, {"L", 32}}, {{"BA", 6}, {"L", 21}}},
+  };
+  return cases;
+}
+
+const codes::CodeInfo& suiteCode(const std::string& name) {
+  for (const auto& info : codes::benchmarkSuite()) {
+    if (info.name == name) return info;
+  }
+  ADD_FAILURE() << "kernel " << name << " not registered in codes::benchmarkSuite()";
+  std::abort();
+}
+
+class KernelSymval : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelSymval, DifferentialAgreesUnderBothBindingClasses) {
+  const KernelCase& kc = kernelCases()[GetParam()];
+  const codes::CodeInfo& info = suiteCode(kc.name);
+  const ir::Program prog = info.build();
+  for (const auto* bindings : {&kc.pow2, &kc.nonPow2}) {
+    for (const std::int64_t processors : {1, 4, 8}) {
+      driver::PipelineConfig config;
+      config.params = codes::bindParams(prog, *bindings);
+      config.processors = processors;
+      config.simulatePlan = false;
+      config.simulateBaseline = false;
+      config.validate = driver::ValidateMode::kBoth;
+      const auto result = driver::analyzeAndSimulate(prog, config);
+      ASSERT_TRUE(result.trace.has_value());
+      ASSERT_TRUE(result.symbolic.has_value());
+      EXPECT_TRUE(result.symbolicAgrees())
+          << kc.name << " H=" << processors
+          << (bindings == &kc.pow2 ? " (pow2)" : " (non-pow2)") << ": "
+          << result.symbolicDifference;
+      ASSERT_TRUE(result.localityCheck.has_value());
+      EXPECT_TRUE(result.localityCheck->ok()) << kc.name << " H=" << processors;
+      EXPECT_FALSE(result.degraded()) << kc.name << " H=" << processors;
+    }
+  }
+}
+
+// Exhausted-budget degradation: with the prover budget gone, the kernels'
+// regions fall back to exact enumeration — the counts must STILL match the
+// enumerating oracle (the ladder trades speed, never precision), and the
+// run must be marked degraded with symval.region events in its ledger.
+TEST_P(KernelSymval, ExhaustedBudgetDegradesButStaysExact) {
+  const KernelCase& kc = kernelCases()[GetParam()];
+  const codes::CodeInfo& info = suiteCode(kc.name);
+  const ir::Program prog = info.build();
+
+  driver::PipelineConfig config;
+  config.params = codes::bindParams(prog, kc.nonPow2);
+  config.processors = 4;
+  config.simulatePlan = false;
+  config.simulateBaseline = false;
+  config.validate = driver::ValidateMode::kBoth;
+  config.budget.proverSteps = 1;  // exhausted on the first prover query
+  const auto result = driver::analyzeAndSimulate(prog, config);
+
+  ASSERT_TRUE(result.trace.has_value());
+  ASSERT_TRUE(result.symbolic.has_value());
+  EXPECT_TRUE(result.symbolicAgrees()) << kc.name << ": " << result.symbolicDifference;
+  EXPECT_TRUE(result.degraded()) << kc.name;
+  EXPECT_TRUE(hasStage(result.degradation, "symval.region")) << kc.name;
+  EXPECT_GT(result.symbolic->enumeratedRegions, 0) << kc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KernelSymval,
+                         ::testing::Range<std::size_t>(0, kernelCases().size()),
+                         [](const auto& i) { return kernelCases()[i.param].name; });
+
 // --- Property fuzz: interval algebra vs brute-force classification ---------
 
 /// xorshift64* — deterministic, seed-stable across platforms.
@@ -305,13 +403,6 @@ class ExhaustedBudget {
   support::DegradationReport ledger_;
   support::DegradationScope ledgerScope_;
 };
-
-bool hasStage(const std::vector<support::DegradationEvent>& events, std::string_view stage) {
-  for (const auto& e : events) {
-    if (e.stage == stage) return true;
-  }
-  return false;
-}
 
 TEST(SymvalDegraded, ExhaustedBudgetFallsBackToExactEnumeration) {
   // With the prover budget gone, every region degrades to the enumerating
