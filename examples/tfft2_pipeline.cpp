@@ -33,6 +33,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,9 @@
 #include "driver/serialize.hpp"
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
 #include "support/fault.hpp"
 #include "support/status.hpp"
 #include "support/thread_pool.hpp"
@@ -56,6 +60,7 @@ constexpr int kExitUsage = 2;
 constexpr int kExitWriteFailed = 3;
 constexpr int kExitAnalysisFailed = 4;
 constexpr int kExitDegraded = 5;
+constexpr int kExitServiceUnavailable = 6;
 
 bool writeFileOrComplain(const std::string& path, const std::string& content) {
   std::ofstream out(path);
@@ -207,6 +212,132 @@ int runSuite(const driver::CliOptions& opts) {
   return 0;
 }
 
+/// --serve=PATH: run the analysis service on a Unix socket until a client
+/// sends the shutdown op, then drain gracefully. The server's per-request
+/// budget caps come from --budget-steps/--budget-ms, its admission queue
+/// from --queue, its worker count from --jobs.
+int runServe(const driver::CliOptions& opts) {
+  service::ServerOptions serverOptions;
+  serverOptions.workers = opts.jobs;
+  serverOptions.queueCapacity = static_cast<std::size_t>(opts.queueMax);
+  serverOptions.maxBudgetSteps = opts.budgetSteps;
+  serverOptions.maxDeadlineMs = opts.budgetMs;
+  serverOptions.drainMs = opts.drainMs;
+  service::Server core(serverOptions);
+
+  service::SocketOptions socketOptions;
+  socketOptions.path = opts.serve;
+  service::SocketServer wire(core, socketOptions);
+  if (const Status st = wire.start(); !st.isOk()) {
+    std::cerr << "error: cannot serve: " << st.str() << "\n";
+    return kExitServiceUnavailable;
+  }
+  std::cout << "serving on " << wire.path() << " (workers=" << opts.jobs
+            << " queue=" << opts.queueMax << ")\n";
+  wire.waitForShutdownRequest();
+  // Drain first so in-flight requests are answered over their still-open
+  // connections, then tear the socket layer down.
+  core.shutdown();
+  wire.stop();
+  const service::ServerStats stats = core.stats();
+  std::cout << "drained: accepted=" << stats.accepted << " ok=" << stats.ok
+            << " degraded=" << stats.degraded << " errors=" << stats.errors
+            << " cancelled=" << stats.cancelled
+            << " shed=" << stats.shedOverload + stats.shedDraining << "\n";
+  return 0;
+}
+
+/// --client=PATH: submit one request (or the shutdown op) and map the
+/// response kind onto the documented exit-code table.
+int runClient(const driver::CliOptions& opts) {
+  service::ClientOptions clientOptions;
+  clientOptions.maxRetries = static_cast<int>(opts.retries);
+  service::Client client(opts.client, clientOptions);
+
+  if (opts.shutdownOp) {
+    service::Request request;
+    request.op = service::Op::kShutdown;
+    request.id = "cli-shutdown";
+    const auto response = client.call(request);
+    if (!response.has_value()) {
+      std::cerr << "error: " << response.status().str() << "\n";
+      return kExitServiceUnavailable;
+    }
+    std::cout << "server draining\n";
+    return 0;
+  }
+
+  std::ifstream in(opts.source);
+  if (!in) {
+    std::cerr << "error: cannot read " << opts.source << "\n";
+    return kExitUsage;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  service::Request request;
+  request.op = service::Op::kAnalyze;
+  request.source = text.str();
+  request.processors = opts.processors;
+  request.validate = opts.validate.empty() ? (opts.simulate ? "trace" : "none") : opts.validate;
+  request.simulate = opts.simulate;
+  request.budgetSteps = opts.budgetSteps;
+  request.deadlineMs = opts.budgetMs;
+  for (const auto& [name, value] : opts.params) request.params[name] = value;
+
+  int worst = 0;
+  const auto rank = [](int rc) {  // precedence: transport > analysis > validation > degraded
+    switch (rc) {
+      case kExitServiceUnavailable: return 4;
+      case kExitAnalysisFailed: return 3;
+      case kExitValidationFailed: return 2;
+      case kExitDegraded: return 1;
+      default: return 0;
+    }
+  };
+  for (std::int64_t attempt = 0; attempt < opts.repeat; ++attempt) {
+    request.id = "cli-" + std::to_string(attempt);
+    const auto response = client.call(request);
+    int rc = 0;
+    if (!response.has_value()) {
+      std::cerr << "error: " << response.status().str() << "\n";
+      rc = kExitServiceUnavailable;
+    } else {
+      switch (response->kind) {
+        case service::ResponseKind::kOk:
+          std::cout << response->golden;
+          break;
+        case service::ResponseKind::kDegraded:
+          std::cout << response->golden;
+          for (const auto& d : response->degradation) std::cerr << "degrade: " << d << "\n";
+          rc = kExitDegraded;
+          break;
+        case service::ResponseKind::kShed:
+          std::cerr << (response->retryAfterMs > 0
+                            ? "error: request shed after retries (server overloaded)"
+                            : "error: server is draining")
+                    << "\n";
+          rc = kExitServiceUnavailable;
+          break;
+        case service::ResponseKind::kCancelled:
+          std::cerr << "error: request cancelled\n";
+          rc = kExitAnalysisFailed;
+          break;
+        case service::ResponseKind::kError:
+          std::cerr << "error: " << response->error << "\n";
+          rc = response->errorCode == "validation" ? kExitValidationFailed
+                                                   : kExitAnalysisFailed;
+          break;
+        case service::ResponseKind::kInfo:
+          std::cout << response->info << "\n";
+          break;
+      }
+    }
+    if (rank(rc) > rank(worst)) worst = rc;
+  }
+  return worst;
+}
+
 /// Writes every requested observability artifact (trace, metrics, profile).
 /// Called on EVERY exit path that knows the file names — including usage
 /// errors, degraded runs, and escaped exceptions: a failed run is exactly the
@@ -259,7 +390,9 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   try {
-    rc = opts.suite ? runSuite(opts) : runSingle(opts);
+    if (!opts.serve.empty()) rc = runServe(opts);
+    else if (!opts.client.empty()) rc = runClient(opts);
+    else rc = opts.suite ? runSuite(opts) : runSingle(opts);
   } catch (...) {
     // The runners catch at every pipeline boundary; anything escaping to here
     // is unexpected — but the artifacts must still reach disk.

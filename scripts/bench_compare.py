@@ -6,7 +6,7 @@ Usage:
 
 Compares the bench JSON artifacts the perf CI stage produces
 (BENCH_analysis.json, BENCH_contention.json, BENCH_intern.json,
-BENCH_kernels.json, BENCH_symval.json) against the
+BENCH_kernels.json, BENCH_service.json, BENCH_symval.json) against the
 baselines under bench/baselines/. Exits nonzero, listing every violated
 metric, when the fresh run regressed.
 
@@ -187,11 +187,44 @@ def compare_intern(gate, baseline, fresh, tolerance_pct):
                      f"baseline {baseline['bytes_per_node']:.1f} + 25% layout headroom")
 
 
+def compare_service(gate, baseline, fresh, tolerance_pct):
+    del tolerance_pct  # robustness verdicts are absolute, latency is never gated
+    gate.exact("service.schema", baseline["schema"], fresh["schema"])
+    # The soak's own pass/fail verdicts: any False here means the service
+    # dropped work, corrupted a golden, or leaked in-flight requests.
+    gate.exact("service.golden_stable", True, fresh["golden_stable"])
+    gate.exact("service.drained_clean", True, fresh["drained_clean"])
+    gate.exact("service.faults.structured", True, fresh["faults"]["structured"])
+    gate.exact("service.flood.golden_mismatches", 0,
+               fresh["flood"]["golden_mismatches"])
+    gate.exact("service.overload.drained_clean", True,
+               fresh["overload"]["drained_clean"])
+    gate.exact("service.socket.failures", 0, fresh["socket"]["failures"])
+    # The overload phase must actually shed: a zero here means admission
+    # control silently stopped refusing work (or the burst stopped bursting).
+    gate.check(fresh["overload"]["shed"] > 0, "service.overload.shed",
+               f"fresh {fresh['overload']['shed']} must be > 0 "
+               f"(baseline {baseline['overload']['shed']})")
+    # The memo hit rate is a cache property of the deterministic request
+    # corpus, not a timing: gate it against the baseline with a small
+    # allowance for scheduling nondeterminism, plus the soak's own absolute
+    # floor of 0.5 (the cross-request-reuse bar from the PR that added it).
+    floor = max(baseline["flood"]["memo_hit_rate"] - 0.05, 0.5)
+    gate.check(fresh["flood"]["memo_hit_rate"] >= floor,
+               "service.flood.memo_hit_rate",
+               f"baseline {baseline['flood']['memo_hit_rate']:.3f}, "
+               f"fresh {fresh['flood']['memo_hit_rate']:.3f}, floor {floor:.3f}")
+    # Latency percentiles (flood.latency_p50_ms/p99_ms) are reported in the
+    # artifact but deliberately never compared: raw wall-clock does not
+    # transfer across machines.
+
+
 COMPARATORS = {
     "BENCH_analysis.json": compare_analysis,
     "BENCH_contention.json": compare_contention,
     "BENCH_intern.json": compare_intern,
     "BENCH_kernels.json": compare_kernels,
+    "BENCH_service.json": compare_service,
     "BENCH_symval.json": compare_symval,
 }
 
@@ -202,11 +235,24 @@ def main():
     parser.add_argument("fresh_dir")
     parser.add_argument("--tolerance-pct", type=float, default=40.0,
                         help="allowed relative drop in ratio metrics (default 40)")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated artifact filenames to compare; other "
+                             "baselines are ignored entirely (a CI stage gates only "
+                             "the artifacts it regenerates)")
     args = parser.parse_args()
+
+    only = set(args.only.split(",")) if args.only else None
+    if only:
+        unknown = only - set(COMPARATORS)
+        if unknown:
+            print(f"bench_compare: no comparator for {sorted(unknown)}", file=sys.stderr)
+            return 2
 
     gate = Gate()
     compared = 0
     for filename, comparator in sorted(COMPARATORS.items()):
+        if only is not None and filename not in only:
+            continue
         base_path = os.path.join(args.baseline_dir, filename)
         fresh_path = os.path.join(args.fresh_dir, filename)
         if not os.path.exists(base_path):

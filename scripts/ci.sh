@@ -13,6 +13,7 @@
 #   scripts/ci.sh symval     # symbolic-vs-trace differential + BENCH_symval.json
 #   scripts/ci.sh bench      # reproduction benches only
 #   scripts/ci.sh perf       # perf-regression gate vs bench/baselines + self-test
+#   scripts/ci.sh service    # service soak (plain + TSan), schema + compare gate, CLI e2e
 #   scripts/ci.sh coverage   # gcov line coverage of src/symbolic + src/descriptors
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -65,7 +66,7 @@ asan() {
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   local tests=(status_test fault_test cli_test parser_fuzz_test \
-               degradation_test thread_pool_test frontend_test)
+               degradation_test thread_pool_test frontend_test service_test)
   cmake --build build-asan -j "$jobs" --target "${tests[@]}"
   for t in "${tests[@]}"; do
     ./build-asan/tests/"$t"
@@ -338,7 +339,10 @@ print(f"contention schema ok: {len(profile['threads'])} thread rows, "
       f"overhead {doc['overhead_pct']:.2f}%")
 EOF
 
-  python3 scripts/bench_compare.py bench/baselines .
+  # The service artifact is regenerated (and gated) by the `service` stage,
+  # not here — scope the comparison to the five artifacts this stage reran.
+  local perf_artifacts="BENCH_analysis.json,BENCH_contention.json,BENCH_intern.json,BENCH_kernels.json,BENCH_symval.json"
+  python3 scripts/bench_compare.py bench/baselines . --only "$perf_artifacts"
 
   # Self-test: inject a synthetic regression (halved jobs=8 speedup, tripled
   # profiler overhead, degenerate intern probe length) into copies of the
@@ -364,7 +368,7 @@ doc["mean_probe_length"] = 10 * doc["mean_probe_length"]
 doc["warm_speedup"] *= 0.4
 json.dump(doc, open(f"{root}/BENCH_intern.json", "w"))
 EOF
-  if python3 scripts/bench_compare.py bench/baselines "$doctored" >/dev/null 2>&1; then
+  if python3 scripts/bench_compare.py bench/baselines "$doctored" --only "$perf_artifacts" >/dev/null 2>&1; then
     echo "FAIL: bench_compare accepted a synthetic 2x speedup regression" >&2
     rm -rf "$doctored"
     exit 1
@@ -385,7 +389,7 @@ doc = json.load(open(f"{root}/BENCH_intern.json"))
 doc["mean_probe_length"] = 10 * doc["mean_probe_length"]
 json.dump(doc, open(f"{root}/BENCH_intern.json", "w"))
 EOF
-  if python3 scripts/bench_compare.py bench/baselines "$doctored" >/dev/null 2>&1; then
+  if python3 scripts/bench_compare.py bench/baselines "$doctored" --only "$perf_artifacts" >/dev/null 2>&1; then
     echo "FAIL: bench_compare accepted a degenerate intern probe length" >&2
     rm -rf "$doctored"
     exit 1
@@ -409,13 +413,160 @@ run["differential"] = "MISMATCH"
 run["comm_edges"] += 1
 json.dump(doc, open(f"{root}/BENCH_kernels.json", "w"))
 EOF
-  if python3 scripts/bench_compare.py bench/baselines "$doctored" >/dev/null 2>&1; then
+  if python3 scripts/bench_compare.py bench/baselines "$doctored" --only "$perf_artifacts" >/dev/null 2>&1; then
     echo "FAIL: bench_compare accepted a flipped kernel differential verdict" >&2
     rm -rf "$doctored"
     exit 1
   fi
   rm -rf "$doctored"
   echo "ok (self-test): doctored kernel-family artifact rejected"
+}
+
+service() {
+  # The analysis-service gate (docs/SERVICE.md), four legs:
+  #   1. the full overload soak at its default 2000-request flood, emitting
+  #      BENCH_service.json;
+  #   2. a smaller flood of the same soak under ThreadSanitizer — the server's
+  #      worker pool, admission queue and shared memo are the concurrent code
+  #      this PR adds, and TSan is what catches the races the plain run hides;
+  #   3. schema check + bench_compare gate of the artifact against
+  #      bench/baselines/BENCH_service.json, with a doctored-artifact
+  #      self-test so the comparator is provably not decorative;
+  #   4. an end-to-end --serve/--client session over a real socket asserting
+  #      the documented exit codes (0 ok, 5 degraded, 6 unavailable).
+  echo "=== service: overload soak + TSan soak + compare gate + CLI e2e ==="
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target service_soak service_test tfft2_pipeline
+  ./build/tests/service_test
+  ./build/bench/service_soak
+
+  echo "--- service: TSan soak (reduced flood) ---"
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j "$jobs" --target service_soak
+  # The TSan leg probes races, not throughput: a 200-request flood already
+  # drives every worker, the queue, the shed path and the shared memo. Its
+  # artifact is scratch — the gated one came from the plain run above.
+  ( cd "$(mktemp -d)" && AD_SOAK_REQUESTS=200 \
+      "$OLDPWD"/build-tsan/bench/service_soak )
+
+  # Schema check of the plain run's artifact before it is compared: the
+  # ad.bench.service.v1 shape and the fields the comparator gates.
+  python3 - <<'EOF'
+import json
+
+doc = json.load(open("BENCH_service.json"))
+assert doc["schema"] == "ad.bench.service.v1", doc.get("schema")
+flood = doc["flood"]
+for key in ("requests", "submitters", "ok", "degraded", "errors", "cancelled",
+            "shed", "golden_mismatches", "latency_p50_ms", "latency_p99_ms",
+            "memo_hit_rate"):
+    assert key in flood, f"flood missing {key}"
+assert flood["requests"] >= 2000, f"flood too small: {flood['requests']}"
+assert flood["ok"] + flood["degraded"] + flood["errors"] + flood["cancelled"] \
+    == flood["requests"], "flood outcomes do not add up"
+assert 0.0 < flood["memo_hit_rate"] <= 1.0
+assert doc["faults"]["structured"] is True
+assert doc["overload"]["shed"] > 0 and doc["overload"]["drained_clean"] is True
+assert doc["socket"]["failures"] == 0
+assert doc["golden_stable"] is True and doc["drained_clean"] is True
+print(f"service schema ok: flood {flood['requests']} requests, "
+      f"p50 {flood['latency_p50_ms']:.2f} ms, p99 {flood['latency_p99_ms']:.2f} ms, "
+      f"memo hit rate {flood['memo_hit_rate']:.3f}, "
+      f"overload shed {doc['overload']['shed']}/{doc['overload']['burst']}")
+EOF
+
+  # Compare gate: only the service artifact, in isolated dirs so the other
+  # baselines (whose fresh runs belong to the perf stage) are not demanded.
+  local basedir freshdir
+  basedir="$(mktemp -d)"; freshdir="$(mktemp -d)"
+  cp bench/baselines/BENCH_service.json "$basedir"/
+  cp BENCH_service.json "$freshdir"/
+  python3 scripts/bench_compare.py "$basedir" "$freshdir"
+
+  # Self-test: a doctored artifact — flipped golden stability, zero shed,
+  # collapsed memo rate — must be rejected, or the gate is decorative.
+  python3 - "$freshdir" <<'EOF'
+import json, sys
+
+root = sys.argv[1]
+doc = json.load(open(f"{root}/BENCH_service.json"))
+doc["golden_stable"] = False
+doc["overload"]["shed"] = 0
+doc["flood"]["memo_hit_rate"] = 0.1
+json.dump(doc, open(f"{root}/BENCH_service.json", "w"))
+EOF
+  if python3 scripts/bench_compare.py "$basedir" "$freshdir" >/dev/null 2>&1; then
+    echo "FAIL: bench_compare accepted a doctored service artifact" >&2
+    rm -rf "$basedir" "$freshdir"
+    exit 1
+  fi
+  rm -rf "$basedir" "$freshdir"
+  echo "ok (self-test): doctored service artifact rejected"
+
+  # End-to-end over the CLI: a real daemon on a real socket, the documented
+  # exit codes (examples/tfft2_pipeline --help).
+  echo "--- service: --serve/--client e2e ---"
+  local bin=./build/examples/tfft2_pipeline
+  local sock workdir
+  workdir="$(mktemp -d)"
+  sock="$workdir/ad.sock"
+  cat > "$workdir/stream.adl" <<'EOF'
+param N
+array A(N)
+array B(N)
+phase F1 { doall i = 0, N - 1 { write A(i) } }
+phase F2 { doall i = 0, N - 1 { read A(i) write B(i) } }
+EOF
+
+  # No server on the socket yet: the client must refuse with exit 6, fast.
+  rc=0
+  "$bin" --client="$sock" --source="$workdir/stream.adl" --param N=64 \
+    --retries 0 >/dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 6 ] || { echo "FAIL: client without server exited $rc, want 6" >&2; exit 1; }
+  echo "ok (exit 6): client with no server"
+
+  "$bin" --serve="$sock" --jobs 2 --queue 8 --drain-ms 2000 \
+    > "$workdir/serve.log" 2>&1 &
+  local serverPid=$!
+  for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
+  [ -S "$sock" ] || { echo "FAIL: server never bound $sock" >&2; exit 1; }
+
+  # Clean request: exit 0, golden on stdout, byte-identical across --repeat.
+  "$bin" --client="$sock" --source="$workdir/stream.adl" --param N=64 \
+    --processors 4 > "$workdir/one.golden"
+  "$bin" --client="$sock" --source="$workdir/stream.adl" --param N=64 \
+    --processors 4 --repeat 3 > "$workdir/three.golden"
+  cat "$workdir/one.golden" "$workdir/one.golden" "$workdir/one.golden" \
+    | cmp -s - "$workdir/three.golden" \
+    || { echo "FAIL: repeated client goldens drifted" >&2; exit 1; }
+  echo "ok (exit 0): clean request, byte-stable across --repeat 3"
+
+  # Starved request: the server answers degraded, the client exits 5.
+  rc=0
+  "$bin" --client="$sock" --source="$workdir/stream.adl" --param N=64 \
+    --budget-steps 1 >/dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 5 ] || { echo "FAIL: starved client exited $rc, want 5" >&2; exit 1; }
+  echo "ok (exit 5): budget-starved request degraded"
+
+  # Shutdown drains the server; the daemon exits 0 and prints its tallies.
+  "$bin" --client="$sock" --shutdown >/dev/null
+  rc=0
+  wait "$serverPid" || rc=$?
+  [ "$rc" -eq 0 ] || { echo "FAIL: drained server exited $rc, want 0" >&2; exit 1; }
+  grep -q "drained: accepted=" "$workdir/serve.log" \
+    || { echo "FAIL: server did not report its drain tallies" >&2; exit 1; }
+  echo "ok (exit 0): shutdown op drained the server"
+
+  # And the socket is gone: a late client refuses with exit 6 again.
+  rc=0
+  "$bin" --client="$sock" --source="$workdir/stream.adl" --param N=64 \
+    --retries 0 >/dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 6 ] || { echo "FAIL: client after drain exited $rc, want 6" >&2; exit 1; }
+  echo "ok (exit 6): client after drain"
+  rm -rf "$workdir"
 }
 
 bench() {
@@ -437,8 +588,9 @@ case "$stage" in
   symval) symval ;;
   bench) bench ;;
   perf) perf ;;
+  service) service ;;
   coverage) coverage ;;
-  all) tier1; tsan; asan; obs; fault; symval; bench; perf; coverage ;;
-  *) echo "unknown stage: $stage (tier1|tsan|asan|obs|fault|symval|bench|perf|coverage|all)" >&2; exit 2 ;;
+  all) tier1; tsan; asan; obs; fault; symval; bench; perf; service; coverage ;;
+  *) echo "unknown stage: $stage (tier1|tsan|asan|obs|fault|symval|bench|perf|service|coverage|all)" >&2; exit 2 ;;
 esac
 echo "CI gate passed."

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "support/status.hpp"
 
@@ -36,6 +38,19 @@ struct CliOptions {
   std::string faultSpec;       ///< --fault SPEC (see support/fault.hpp grammar)
   std::int64_t budgetSteps = 0;  ///< --budget-steps N (0 = unlimited)
   std::int64_t budgetMs = 0;     ///< --budget-ms N (0 = no deadline)
+
+  // Service mode (docs/SERVICE.md). --serve and --client are mutually
+  // exclusive, and each admits only the flags that make sense for it.
+  std::string serve;    ///< --serve=PATH: run the analysis server on this socket
+  std::string client;   ///< --client=PATH: send one request to this socket
+  std::string source;   ///< --source=FILE: ADL program to submit (client mode)
+  bool shutdownOp = false;       ///< --shutdown: ask the server to drain (client)
+  std::vector<std::pair<std::string, std::int64_t>> params;  ///< --param NAME=VALUE
+  std::int64_t processors = 8;   ///< --processors N (client request field)
+  std::int64_t repeat = 1;       ///< --repeat N: submit the request N times
+  std::int64_t retries = 6;      ///< --retries N: shed-retry budget (client)
+  std::int64_t queueMax = 64;    ///< --queue N: admitted-request cap (serve)
+  std::int64_t drainMs = 2000;   ///< --drain-ms N: shutdown grace (serve)
 };
 
 /// The usage message (printed on kInvalidArgument by the driver).
@@ -48,7 +63,17 @@ struct CliOptions {
 ///  - positional sizes < 1;
 ///  - --budget-steps / --budget-ms negative or garbage;
 ///  - --validate= values other than trace, symbolic, or both;
-///  - --suite combined with positional P/Q/H (the suite fixes its own sizes).
+///  - --suite combined with positional P/Q/H (the suite fixes its own sizes);
+///  - --serve combined with --client, --suite, --simulate, --validate,
+///    positionals, or any client-only flag (per-request analysis options
+///    arrive over the wire, not on the server's command line);
+///  - --client combined with --suite or positionals; --client without
+///    exactly one of --source / --shutdown;
+///  - serve-only flags (--queue, --drain-ms) outside --serve; client-only
+///    flags (--source, --param, --processors, --repeat, --retries,
+///    --shutdown) outside --client;
+///  - malformed --param (want NAME=VALUE with integer VALUE), --queue < 1,
+///    --repeat < 1, --retries < 0, --drain-ms < 0, --processors < 1.
 /// The --fault spec is validated later by FaultInjector::configure (the
 /// grammar lives there); parseCli only carries the string.
 [[nodiscard]] Expected<CliOptions> parseCli(int argc, const char* const* argv);

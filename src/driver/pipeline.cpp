@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <sstream>
 
 #include "obs/obs.hpp"
@@ -241,22 +242,30 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   // Each stage runs under its own span so --trace-out shows exactly where
   // analysis time goes (descriptor/LCG work vs. ILP vs. simulation), and
   // under an ErrorContext frame so escaping failures name their stage.
+  // Every stage opens with a cancellation check: a cancelled run must abort
+  // with a structured kCancelled failure at the next boundary, not grind
+  // through the remaining stages on the degradation ladder. (The prover
+  // additionally polls the token on every budget step, so the gap between
+  // boundary checks is itself bounded.)
   std::optional<lcg::LCG> lcgGraph;
   {
     obs::Span s("pipeline.lcg");
     ErrorContext stage("stage", "lcg");
+    support::throwIfCancelled();
     lcgGraph.emplace(lcg::buildLCG(program, config.params, config.processors, pool));
   }
   std::optional<ilp::Model> model;
   {
     obs::Span s("pipeline.ilp_build");
     ErrorContext stage("stage", "ilp_build");
+    support::throwIfCancelled();
     model.emplace(ilp::buildModel(*lcgGraph, config.params, config.processors, config.costs));
   }
   ilp::Solution solution;
   {
     obs::Span s("pipeline.ilp_solve");
     ErrorContext stage("stage", "ilp_solve");
+    support::throwIfCancelled();
     solution = model->solve();
   }
   dsm::MachineParams machineForPlan = config.machine;
@@ -265,6 +274,7 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   {
     obs::Span s("pipeline.plan");
     ErrorContext stage("stage", "plan");
+    support::throwIfCancelled();
     plan = derivePlan(program, *lcgGraph, *model, solution, config.params,
                       config.processors, machineForPlan);
   }
@@ -274,6 +284,7 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   {
     obs::Span s("pipeline.comm");
     ErrorContext stage("stage", "comm");
+    support::throwIfCancelled();
     for (const auto& [array, dists] : plan.data) {
       const std::int64_t size = evalInt(program.array(array).size, config.params, "array size");
       for (std::size_t k = 1; k < dists.size(); ++k) {
@@ -295,6 +306,7 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   if (config.simulatePlan) {
     obs::Span s("pipeline.dsm_model");
     ErrorContext stage("stage", "dsm_model");
+    support::throwIfCancelled();
     planned = dsm::simulate(program, config.params, machine, plan);
   }
   PipelineResult result{std::move(*lcgGraph),
@@ -308,6 +320,7 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   if (config.simulateBaseline) {
     obs::Span s("pipeline.dsm_baseline");
     ErrorContext stage("stage", "dsm_baseline");
+    support::throwIfCancelled();
     result.naive = dsm::simulate(program, config.params, machine,
                                  dsm::ExecutionPlan::naiveBlock(program, config.params,
                                                                 config.processors));
@@ -319,6 +332,7 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   if (mode == ValidateMode::kTrace || mode == ValidateMode::kBoth) {
     obs::Span s("pipeline.trace_sim");
     ErrorContext stage("stage", "trace_sim");
+    support::throwIfCancelled();
     sim::SimOptions so;
     so.processors = config.processors;
     result.trace = sim::simulateTrace(program, config.params, result.plan, so);
@@ -326,6 +340,7 @@ PipelineResult analyzeAndSimulate(const ir::Program& program, const PipelineConf
   if (mode == ValidateMode::kSymbolic || mode == ValidateMode::kBoth) {
     obs::Span s("pipeline.symval");
     ErrorContext stage("stage", "symval");
+    support::throwIfCancelled();
     loc::SymvalOptions so;
     so.processors = config.processors;
     result.symbolic = loc::symbolicTrace(program, config.params, result.plan, so);
@@ -374,10 +389,31 @@ std::vector<Expected<PipelineResult>> analyzeBatch(const std::vector<BatchItem>&
   // vector<bool>: the slots are written concurrently and need distinct
   // memory locations.
   std::vector<char> ran(batch.size(), 0);
+
+  // Per-item isolation for an ambient (caller-installed) budget. The pool
+  // forwards the submitting thread's budget to every task, so without the
+  // split below the whole batch would charge ONE shared allowance: the first
+  // expensive item exhausts it and every item still running — or not yet
+  // started — degrades with it (budget starvation). Each item instead gets
+  // its own sub-budget: an equal share of the remaining steps, the parent's
+  // wall-clock deadline (a point in time, shared by construction), and the
+  // parent's cancellation token, so exhaustion stays per-item while
+  // cancellation still stops the whole batch. Items whose config carries its
+  // own budget/cancel are unaffected (analyzeAndSimulate installs that one
+  // on top, exactly as before).
+  support::Budget* ambient = support::Budget::current();
+  std::vector<std::unique_ptr<support::Budget>> subBudgets(batch.size());
+  if (ambient != nullptr && !batch.empty()) {
+    const support::BudgetLimits share = ambient->subLimits(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      subBudgets[i] = std::make_unique<support::Budget>(share, ambient->cancelToken());
+    }
+  }
+
   support::ThreadPool pool(jobs == 0 ? 1 : jobs);
   support::TaskGroup group(pool);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    group.run([&batch, &results, &errors, &ran, &pool, i] {
+    group.run([&batch, &results, &errors, &ran, &pool, &subBudgets, i] {
       ran[i] = 1;
       const BatchItem& item = batch[i];
       const std::string label =
@@ -385,6 +421,11 @@ std::vector<Expected<PipelineResult>> analyzeBatch(const std::vector<BatchItem>&
       clearPendingErrorContext();
       try {
         ErrorContext code("code", label);
+        std::optional<support::BudgetScope> sub;
+        if (subBudgets[i] != nullptr) sub.emplace(subBudgets[i].get());
+        // Task boundary: a batch cancelled while this item sat in the queue
+        // answers kCancelled immediately instead of starting doomed work.
+        support::throwIfCancelled();
         results[i] = analyzeAndSimulate(*item.program, item.config, &pool);
       } catch (...) {
         // One poisoned item yields a structured per-item Status — it never

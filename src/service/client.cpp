@@ -1,0 +1,125 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "service/wire.hpp"
+
+namespace ad::service {
+
+namespace {
+
+/// splitmix64: tiny, stateless-per-step, and plenty for jitter.
+std::uint64_t nextRandom(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void setTimeout(int fd, int option, std::int64_t ms) {
+  if (ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof tv);
+}
+
+}  // namespace
+
+Client::Client(std::string path, ClientOptions options)
+    : path_(std::move(path)), options_(options), jitterState_(options.jitterSeed) {}
+
+Client::~Client() { close(); }
+
+Status Client::connect() {
+  close();
+  sockaddr_un addr{};
+  if (path_.empty() || path_.size() >= sizeof addr.sun_path) {
+    return Status(ErrorCode::kInvalidArgument, "socket path length out of range");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(ErrorCode::kInternal, std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status s(ErrorCode::kInternal,
+                   "connect " + path_ + ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  setTimeout(fd, SO_RCVTIMEO, options_.recvTimeoutMs);
+  setTimeout(fd, SO_SNDTIMEO, options_.sendTimeoutMs);
+  fd_ = fd;
+  return Status::ok();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Expected<Response> Client::callOnce(const Request& request) {
+  if (fd_ < 0) {
+    if (Status s = connect(); !s.isOk()) return s;
+  }
+  if (Status s = writeFrame(fd_, serializeRequest(request)); !s.isOk()) {
+    close();
+    return s;
+  }
+  Expected<std::string> payload = readFrame(fd_);
+  if (!payload.ok()) {
+    close();
+    return payload.status();
+  }
+  return parseResponse(*payload);
+}
+
+std::int64_t Client::backoffDelayMs(int attempt, std::int64_t serverHintMs) {
+  // min(cap, base * 2^attempt), shift-safe, then half fixed + half jittered.
+  std::int64_t exp = options_.backoffBaseMs;
+  for (int i = 0; i < attempt && exp < options_.backoffCapMs; ++i) exp *= 2;
+  exp = std::clamp<std::int64_t>(exp, 1, options_.backoffCapMs);
+  const std::int64_t half = exp / 2;
+  const std::int64_t jitter =
+      half > 0 ? static_cast<std::int64_t>(nextRandom(jitterState_) % static_cast<std::uint64_t>(half + 1))
+               : 0;
+  return std::max(serverHintMs, half + jitter);
+}
+
+Expected<Response> Client::call(const Request& request) {
+  Expected<Response> last = Status(ErrorCode::kInternal, "unset");
+  for (int attempt = 0; attempt <= options_.maxRetries; ++attempt) {
+    last = callOnce(request);
+    if (!last.ok()) {
+      // Transport failure: the accept-gate shed path answers one frame and
+      // closes, so a dropped connection is retried like a shed (reconnect
+      // happens inside callOnce). Other transports errors retry too — the
+      // backoff bounds the cost and a dead server fails out in maxRetries.
+      if (attempt == options_.maxRetries) return last;
+    } else if (last->isShed()) {
+      if (last->retryAfterMs <= 0) return last;  // draining: do not retry
+      if (attempt == options_.maxRetries) return last;  // exhausted: report shed
+      ++shedRetries_;
+    } else {
+      return last;  // a real answer (ok/degraded/error/cancelled/info)
+    }
+    const std::int64_t hint = last.ok() ? last->retryAfterMs : 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoffDelayMs(attempt, hint)));
+  }
+  return last;
+}
+
+}  // namespace ad::service

@@ -1,0 +1,94 @@
+// Unix-domain socket front end for the in-process Server.
+//
+// Blocking sockets, one thread per connection, bounded everywhere:
+//
+//  - at most `maxConnections` concurrent connections; excess accepts are
+//    answered with one shed frame and closed (connection-level admission
+//    control, mirroring the Server's request-level control);
+//  - every socket carries SO_RCVTIMEO/SO_SNDTIMEO, so a hostile client that
+//    sends half a frame and stalls ties up one connection thread for at most
+//    the receive timeout, never forever;
+//  - frame lengths are validated (decodeFrameLength) before the body is read,
+//    so a 4-byte header cannot command an outsized allocation.
+//
+// Protocol violations (bad length, malformed JSON, truncated body) get a
+// best-effort error frame and the connection is closed — one bad client
+// never takes the server down (satellite 4's fuzz suite drives this).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/server.hpp"
+#include "support/status.hpp"
+
+namespace ad::service {
+
+struct SocketOptions {
+  std::string path;                  ///< filesystem path of the AF_UNIX socket
+  int backlog = 64;
+  std::size_t maxConnections = 64;
+  std::int64_t recvTimeoutMs = 30000;
+  std::int64_t sendTimeoutMs = 10000;
+};
+
+/// Blocking frame I/O over one fd (exposed for the client and the tests).
+/// readFrame returns the payload; kUnavailable-style failures are reported as
+/// Status (kInternal for I/O errors, kInvalidArgument for protocol
+/// violations, kDeadline for socket timeouts); a clean EOF before any header
+/// byte yields kCancelled ("peer closed").
+[[nodiscard]] Expected<std::string> readFrame(int fd);
+[[nodiscard]] Status writeFrame(int fd, std::string_view payload);
+
+class SocketServer {
+ public:
+  /// Binds and starts accepting on construction-configured options once
+  /// start() is called. `core` must outlive this object.
+  SocketServer(Server& core, SocketOptions options);
+  ~SocketServer();  ///< implies stop()
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds the socket and spawns the accept thread. kInternal on bind/listen
+  /// failure (path in use, directory missing).
+  [[nodiscard]] Status start();
+
+  /// Stops accepting, unblocks every connection thread, and joins them.
+  /// Idempotent. Does NOT drain the core Server — callers sequence
+  /// core.shutdown() themselves (see runServe in the CLI).
+  void stop();
+
+  /// True once some client issued the shutdown op.
+  [[nodiscard]] bool shutdownRequested() const noexcept {
+    return shutdownRequested_.load(std::memory_order_acquire);
+  }
+  /// Blocks until shutdownRequested() (or stop()).
+  void waitForShutdownRequest();
+
+  [[nodiscard]] const std::string& path() const noexcept { return options_.path; }
+
+ private:
+  void acceptLoop();
+  void serveConnection(int fd);
+  void closeAllConnections();
+
+  Server& core_;
+  SocketOptions options_;
+  int listenFd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdownRequested_{false};
+  std::thread acceptThread_;
+
+  std::mutex mu_;  ///< guards connections_ (and orders the active_ == 0 wait)
+  std::condition_variable shutdownCv_;
+  std::vector<int> connections_;         ///< open fds, for forced unblock on stop
+  std::atomic<std::int64_t> active_{0};  ///< live connection threads (detached)
+};
+
+}  // namespace ad::service

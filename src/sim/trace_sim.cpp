@@ -16,6 +16,7 @@
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
 #include "sim/owner_map.hpp"
+#include "support/budget.hpp"
 #include "support/checked_int.hpp"
 #include "support/diagnostics.hpp"
 #include "support/fault.hpp"
@@ -223,6 +224,13 @@ TraceResult simulateTrace(const ir::Program& program, const ir::Bindings& params
   std::barrier<> phaseBarrier(static_cast<std::ptrdiff_t>(H));
   std::atomic<bool> abort{false};
 
+  // The workers are raw threads, not pool tasks, so the submitting thread's
+  // budget/cancellation context must be forwarded by hand (as
+  // ThreadPool::submit does). Each worker polls the token every 4096
+  // accesses: a cancelled service request aborts the replay in bounded work
+  // instead of enumerating the remaining millions of accesses.
+  const support::RobustnessContext robustness = support::RobustnessContext::capture();
+
   // Per-phase telemetry: each worker tags its spans with its simulated
   // processor number (main thread stays tid 0) and tallies the time it
   // spends parked on the two phase barriers. The barrier clock reads are two
@@ -237,6 +245,8 @@ TraceResult simulateTrace(const ir::Program& program, const ir::Bindings& params
   }
 
   const auto worker = [&](std::int64_t t) {
+    const support::RobustnessContextScope robustnessScope(robustness);
+    std::int64_t sinceCancelPoll = 0;
     obs::Tracer::setCurrentThreadId(t + 1);
     // Join the contention profiler's per-thread timeline under the same name
     // as the Perfetto track, so sim barrier stalls line up with pool/lock
@@ -288,6 +298,7 @@ TraceResult simulateTrace(const ir::Program& program, const ir::Bindings& params
           ir::forEachAccessWhere(
               program, phase, params, keep,
               [&](const ir::ConcreteAccess& acc, const ir::Bindings&) {
+                if ((++sinceCancelPoll & 0xFFF) == 0) support::throwIfCancelled();
                 const std::size_t refIdx =
                     static_cast<std::size_t>(acc.ref - phase.refs().data());
                 const RefSlot& rs = pp.refs[refIdx];

@@ -36,17 +36,47 @@ bool Budget::step() noexcept {
     exhaust(BudgetStop::kSteps);
     return false;
   }
-  if ((n & 63) == 0) {  // poll the slow checks every 64 steps
-    if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
-      exhaust(BudgetStop::kCancelled);
-      return false;
-    }
+  // Cancellation is polled on every step: it is one relaxed load, and the
+  // bounded-step cancellation guarantee (a cancelled prover answers Unknown
+  // within one step of the token firing) depends on it.
+  if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+    exhaust(BudgetStop::kCancelled);
+    return false;
+  }
+  if ((n & 63) == 0) {  // the deadline needs a clock read; poll every 64 steps
     if (limits_.deadlineMs > 0 && std::chrono::steady_clock::now() >= deadline_) {
       exhaust(BudgetStop::kDeadline);
       return false;
     }
   }
   return true;
+}
+
+std::optional<std::int64_t> Budget::remainingMs() const noexcept {
+  if (limits_.deadlineMs <= 0) return std::nullopt;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline_ - std::chrono::steady_clock::now());
+  return std::max<std::int64_t>(0, left.count());
+}
+
+BudgetLimits Budget::subLimits(std::size_t items) const noexcept {
+  const std::int64_t n = items == 0 ? 1 : static_cast<std::int64_t>(items);
+  BudgetLimits sub;
+  sub.proverDepth = limits_.proverDepth;
+  if (limits_.proverSteps > 0) {
+    const std::int64_t left =
+        std::max<std::int64_t>(0, limits_.proverSteps - stepsUsed());
+    // An exhausted or empty allowance becomes a 1-step share: the sub-budget
+    // still exists (and immediately degrades), never silently unlimited.
+    sub.proverSteps = std::max<std::int64_t>(1, (left + n - 1) / n);
+  }
+  if (limits_.deadlineMs > 0) {
+    // The wall clock is shared, not split: every item must be done by the
+    // parent's deadline. remainingMs() == 0 maps to the 1 ms floor so the
+    // sub-budget keeps a deadline at all (0 would mean "none").
+    sub.deadlineMs = std::max<std::int64_t>(1, remainingMs().value_or(1));
+  }
+  return sub;
 }
 
 void Budget::exhaust(BudgetStop cause) noexcept {
@@ -57,6 +87,12 @@ void Budget::exhaust(BudgetStop cause) noexcept {
 }
 
 Budget* Budget::current() noexcept { return tlBudget; }
+
+void throwIfCancelled() {
+  if (cancellationRequested()) {
+    throw CancelledError("cancelled by caller");
+  }
+}
 
 BudgetScope::BudgetScope(Budget* budget) noexcept : previous_(tlBudget) { tlBudget = budget; }
 BudgetScope::~BudgetScope() { tlBudget = previous_; }

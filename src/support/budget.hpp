@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,8 +62,10 @@ class Budget {
 
   /// Charges one prover step. Returns false once the budget is exhausted
   /// (step count, deadline, or cancellation) — the caller answers Unknown.
-  /// Deadline and cancellation are polled every 64 steps to keep the hot
-  /// path a single relaxed fetch_add.
+  /// Cancellation is polled on *every* step (one extra relaxed load), so a
+  /// cancelled prover stops within one step of the token firing — the bound
+  /// the service's in-flight cancellation relies on. The deadline (a clock
+  /// read) is still polled every 64 steps.
   [[nodiscard]] bool step() noexcept;
 
   /// Marks the budget exhausted (first cause wins). Used by step() and by
@@ -83,6 +86,34 @@ class Budget {
     return limits_.proverDepth > 0 ? limits_.proverDepth : fallback;
   }
   [[nodiscard]] const BudgetLimits& limits() const noexcept { return limits_; }
+
+  /// The cancellation token this budget observes (may be null).
+  [[nodiscard]] const CancelToken& cancelToken() const noexcept { return cancel_; }
+
+  /// True once the cancellation token fired (checked directly, not only at
+  /// step() polls) or the budget was exhausted by cancellation. Also latches
+  /// the exhaustion so later step() calls fail fast.
+  [[nodiscard]] bool cancelRequested() noexcept {
+    if (stopCause() == BudgetStop::kCancelled) return true;
+    if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+      exhaust(BudgetStop::kCancelled);
+      return true;
+    }
+    return false;
+  }
+
+  /// Milliseconds left until this budget's deadline; nullopt when it has
+  /// none. Zero when the deadline already passed. Used to derive sub-budgets
+  /// that must respect the parent's wall clock.
+  [[nodiscard]] std::optional<std::int64_t> remainingMs() const noexcept;
+
+  /// Limits for one of `items` equal sub-budgets of this budget: the
+  /// remaining step allowance split evenly (ceil), the remaining wall clock
+  /// shared (a deadline is a point in time, not a rate), the depth cap
+  /// inherited. Unlimited fields stay unlimited. The driver's batched engine
+  /// uses this so one expensive item exhausts only its own share instead of
+  /// starving every sibling (per-item isolation).
+  [[nodiscard]] BudgetLimits subLimits(std::size_t items) const noexcept;
 
   /// The thread's active budget (nullptr = unlimited).
   [[nodiscard]] static Budget* current() noexcept;
@@ -116,6 +147,20 @@ class BudgetScope {
   Budget* b = Budget::current();
   return b == nullptr || b->step();
 }
+
+/// True when the current budget's cancellation token has fired. Cheap (two
+/// relaxed loads); safe with no budget installed.
+[[nodiscard]] inline bool cancellationRequested() noexcept {
+  Budget* b = Budget::current();
+  return b != nullptr && b->cancelRequested();
+}
+
+/// Aborts a cancelled run: throws CancelledError when the current budget's
+/// cancellation token has fired. Called at task and pipeline-stage
+/// boundaries — between the prover's per-step polls — so cancellation
+/// surfaces as a structured kCancelled failure within a bounded amount of
+/// work instead of grinding through the degradation ladder to completion.
+void throwIfCancelled();
 
 // ---------------------------------------------------------------------------
 // Degradation ledger

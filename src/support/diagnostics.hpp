@@ -40,6 +40,16 @@ class AnalysisError : public std::runtime_error {
   explicit AnalysisError(const std::string& message) : std::runtime_error(message) {}
 };
 
+/// Thrown when a run's cancellation token fired. Unlike budget exhaustion —
+/// which degrades the analysis conservatively and lets it finish — a
+/// cancelled run aborts at the next task or stage boundary: the caller asked
+/// for the work to stop, so a degraded-but-complete answer is wasted effort.
+/// Boundaries map it to ErrorCode::kCancelled (statusFromCurrentException).
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& message) : std::runtime_error(message) {}
+};
+
 [[noreturn]] void failContract(std::string_view condition, std::string_view file, int line,
                                std::string_view message);
 

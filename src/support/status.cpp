@@ -73,6 +73,8 @@ Status statusFromCurrentException() {
     throw;
   } catch (const ContractViolation& e) {
     status = Status(ErrorCode::kContract, e.what());
+  } catch (const CancelledError& e) {
+    status = Status(ErrorCode::kCancelled, e.what());
   } catch (const AnalysisError& e) {
     status = Status(ErrorCode::kAnalysis, e.what());
   } catch (const ProgramError& e) {

@@ -128,9 +128,101 @@ TEST(Cli, UsageMentionsEveryFlagAndExitCode) {
   const std::string usage = cliUsage("prog");
   for (const char* needle :
        {"--simulate", "--suite", "--jobs", "--fault", "--budget-steps", "--budget-ms",
-        "--trace-out=", "--metrics-out=", "--profile-out=", "exit codes"}) {
+        "--trace-out=", "--metrics-out=", "--profile-out=", "--serve=", "--client=",
+        "--source=", "--param", "--shutdown", "--repeat", "--retries", "--queue",
+        "--drain-ms", "exit codes", "6 service unavailable"}) {
     EXPECT_NE(usage.find(needle), std::string::npos) << "usage lacks " << needle;
   }
+}
+
+// --- Service modes (--serve / --client, docs/SERVICE.md) ---
+
+TEST(Cli, AcceptsServeWithItsFlags) {
+  const auto r = parse({"--serve=/tmp/ad.sock", "--jobs", "4", "--queue", "32",
+                        "--drain-ms", "500", "--budget-steps", "1000"});
+  ASSERT_TRUE(r.has_value()) << r.status().str();
+  EXPECT_EQ(r->serve, "/tmp/ad.sock");
+  EXPECT_EQ(r->jobs, 4u);
+  EXPECT_EQ(r->queueMax, 32);
+  EXPECT_EQ(r->drainMs, 500);
+  EXPECT_EQ(r->budgetSteps, 1000);
+  EXPECT_TRUE(r->client.empty());
+}
+
+TEST(Cli, AcceptsClientAnalyzeRequest) {
+  const auto r = parse({"--client=/tmp/ad.sock", "--source=prog.adl", "--param", "N=64",
+                        "--param", "T=4", "--processors", "16", "--repeat", "3",
+                        "--retries", "9", "--validate=both"});
+  ASSERT_TRUE(r.has_value()) << r.status().str();
+  EXPECT_EQ(r->client, "/tmp/ad.sock");
+  EXPECT_EQ(r->source, "prog.adl");
+  ASSERT_EQ(r->params.size(), 2u);
+  EXPECT_EQ(r->params[0].first, "N");
+  EXPECT_EQ(r->params[0].second, 64);
+  EXPECT_EQ(r->params[1].first, "T");
+  EXPECT_EQ(r->params[1].second, 4);
+  EXPECT_EQ(r->processors, 16);
+  EXPECT_EQ(r->repeat, 3);
+  EXPECT_EQ(r->retries, 9);
+  EXPECT_FALSE(r->shutdownOp);
+}
+
+TEST(Cli, AcceptsClientShutdown) {
+  const auto r = parse({"--client=/tmp/ad.sock", "--shutdown"});
+  ASSERT_TRUE(r.has_value()) << r.status().str();
+  EXPECT_TRUE(r->shutdownOp);
+  EXPECT_TRUE(r->source.empty());
+}
+
+TEST(Cli, RejectsServeClientMutualExclusion) {
+  expectRejected({"--serve=/a", "--client=/b"}, "mutually exclusive");
+}
+
+TEST(Cli, RejectsServeWithForeignOptions) {
+  expectRejected({"--serve=/a", "--suite"}, "--suite");
+  expectRejected({"--serve=/a", "8", "8", "4"}, "positional");
+  expectRejected({"--serve=/a", "--simulate"}, "per request");
+  expectRejected({"--serve=/a", "--validate=trace"}, "per request");
+  expectRejected({"--serve=/a", "--source=x.adl"}, "--client flag");
+  expectRejected({"--serve=/a", "--repeat", "2"}, "--client flag");
+  expectRejected({"--serve="}, "--serve=");
+}
+
+TEST(Cli, RejectsClientWithForeignOptions) {
+  expectRejected({"--client=/a", "--suite"}, "--suite");
+  expectRejected({"--client=/a", "--source=x.adl", "8"}, "positional");
+  expectRejected({"--client=/a", "--source=x.adl", "--queue", "4"}, "--serve flag");
+  expectRejected({"--client=/a", "--source=x.adl", "--drain-ms", "9"}, "--serve flag");
+  expectRejected({"--client="}, "--client=");
+}
+
+TEST(Cli, RejectsClientWithoutExactlyOneAction) {
+  expectRejected({"--client=/a"}, "--source");
+  expectRejected({"--client=/a", "--source=x.adl", "--shutdown"}, "--shutdown");
+}
+
+TEST(Cli, RejectsServiceFlagsWithoutTheirMode) {
+  expectRejected({"--source=x.adl"}, "requires --client");
+  expectRejected({"--shutdown"}, "requires --client");
+  expectRejected({"--param", "N=1"}, "requires --client");
+  expectRejected({"--processors", "4"}, "requires --client");
+  expectRejected({"--repeat", "2"}, "requires --client");
+  expectRejected({"--retries", "3"}, "requires --client");
+  expectRejected({"--queue", "8"}, "requires --serve");
+  expectRejected({"--drain-ms", "100"}, "requires --serve");
+}
+
+TEST(Cli, RejectsMalformedServiceValues) {
+  expectRejected({"--client=/a", "--param", "N"}, "--param");
+  expectRejected({"--client=/a", "--param", "=3"}, "--param");
+  expectRejected({"--client=/a", "--param", "N=abc"}, "--param");
+  expectRejected({"--client=/a", "--param"}, "--param");
+  expectRejected({"--client=/a", "--processors", "0"}, "--processors");
+  expectRejected({"--client=/a", "--repeat", "0"}, "--repeat");
+  expectRejected({"--client=/a", "--retries", "-1"}, "--retries");
+  expectRejected({"--serve=/a", "--queue", "0"}, "--queue");
+  expectRejected({"--serve=/a", "--drain-ms", "-1"}, "--drain-ms");
+  expectRejected({"--source="}, "--source=");
 }
 
 }  // namespace

@@ -18,8 +18,10 @@
 #include "locality/analysis.hpp"
 #include "locality/privatization.hpp"
 #include "support/budget.hpp"
+#include "support/diagnostics.hpp"
 #include "support/fault.hpp"
 #include "support/thread_pool.hpp"
+#include "symbolic/intern.hpp"
 
 namespace ad {
 namespace {
@@ -217,6 +219,146 @@ TEST_F(FaultedPipeline, CheckedEntryPointsReturnStatusInsteadOfThrowing) {
   // With the fault spent, the same call succeeds.
   const auto retry = driver::analyzeAndSimulateChecked(prog, config);
   ASSERT_TRUE(retry.has_value()) << retry.status().str();
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation (the service's in-flight story, docs/SERVICE.md)
+// ---------------------------------------------------------------------------
+
+TEST(Cancellation, CancelTokenStopsTheProverWithinOneStep) {
+  const auto token = std::make_shared<std::atomic<bool>>(false);
+  support::Budget budget(support::BudgetLimits{}, token);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(budget.step()) << "an unlimited, uncancelled budget admits work";
+  }
+  token->store(true);
+  // The bound the service relies on: the token is polled on *every* step, so
+  // the very next one refuses.
+  EXPECT_FALSE(budget.step());
+  EXPECT_EQ(budget.stopCause(), support::BudgetStop::kCancelled);
+  EXPECT_TRUE(budget.cancelRequested());
+}
+
+TEST(Cancellation, ThrowIfCancelledRaisesAtStageBoundaries) {
+  const auto token = std::make_shared<std::atomic<bool>>(false);
+  support::Budget budget(support::BudgetLimits{}, token);
+  support::BudgetScope scope(&budget);
+  EXPECT_NO_THROW(support::throwIfCancelled());
+  token->store(true);
+  EXPECT_THROW(support::throwIfCancelled(), CancelledError);
+}
+
+TEST(Cancellation, PreCancelledRunReturnsStructuredCancelledStatus) {
+  const auto prog = codes::makeTFFT2();
+  driver::PipelineConfig config;
+  config.params = codes::bindParams(prog, {{"P", 8}, {"Q", 8}});
+  config.processors = 4;
+  config.cancel = std::make_shared<std::atomic<bool>>(true);
+  const auto result = driver::analyzeAndSimulateChecked(prog, config);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.status().code(), ErrorCode::kCancelled);
+}
+
+TEST(Cancellation, MidFlightCancelAbortsTheBatchButNotCleanlyFinishedItems) {
+  const auto prog = codes::makeTFFT2();
+  driver::BatchItem item;
+  item.program = &prog;
+  item.config.params = codes::bindParams(prog, {{"P", 8}, {"Q", 8}});
+  item.config.processors = 4;
+
+  // An ambient budget whose token is already fired: every queued item must
+  // answer kCancelled at its task boundary without starting analysis.
+  const auto token = std::make_shared<std::atomic<bool>>(true);
+  support::Budget ambient(support::BudgetLimits{}, token);
+  support::BudgetScope scope(&ambient);
+  const auto results = driver::analyzeBatch({item, item, item}, /*jobs=*/1);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.status().code(), ErrorCode::kCancelled) << r.status().str();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-item budget isolation in the batched engine (the starvation regression)
+// ---------------------------------------------------------------------------
+
+/// Prover steps one standalone run of `prog` charges (measured, not assumed,
+/// so the test keeps calibrating itself as the analysis evolves).
+std::int64_t measureProverSteps(const ir::Program& prog, const ir::Bindings& params) {
+  support::Budget meter(support::BudgetLimits{});  // unlimited: counts only
+  support::BudgetScope scope(&meter);
+  driver::PipelineConfig config;
+  config.params = params;
+  config.processors = 4;
+  const driver::PipelineResult result = driver::analyzeAndSimulate(prog, config);
+  EXPECT_FALSE(result.degraded());
+  return meter.stepsUsed();
+}
+
+TEST(Degradation, BatchSplitsAnAmbientBudgetSoOneHogCannotStarveSiblings) {
+  // tfft2 needs an order of magnitude more prover work than tomcatv: under
+  // the old shared-allowance behaviour the hog drained the pot and the cheap
+  // items degraded with it; under per-item sub-budgets only the hog does.
+  // The process-global proof memo would skew the calibration whenever a
+  // sibling test already analyzed tfft2 (whole-binary sanitizer runs), so
+  // measure and run with it off: every leg charges its cold step count.
+  const sym::ProofMemoEnabledGuard memoOff(false);
+  const auto hogProg = codes::makeTFFT2();
+  const auto hogParams = codes::bindParams(hogProg, {{"P", 16}, {"Q", 16}});
+  const auto cheapProg = codes::makeTomcatv();
+  const auto cheapParams = codes::bindParams(cheapProg, {{"N", 32}});
+
+  const std::int64_t hogSteps = measureProverSteps(hogProg, hogParams);
+  const std::int64_t cheapSteps = measureProverSteps(cheapProg, cheapParams);
+  ASSERT_GE(hogSteps, 4 * (cheapSteps + 8))
+      << "calibration drifted: tfft2 no longer dominates tomcatv; pick a "
+         "cheaper sibling (hog=" << hogSteps << " cheap=" << cheapSteps << ")";
+  const std::string cleanCheapGolden = driver::serializeGolden(
+      [&] {
+        driver::PipelineConfig config;
+        config.params = cheapParams;
+        config.processors = 4;
+        return driver::analyzeAndSimulate(cheapProg, config);
+      }(),
+      cheapProg);
+
+  driver::BatchItem hog;
+  hog.program = &hogProg;
+  hog.label = "hog";
+  hog.config.params = hogParams;
+  hog.config.processors = 4;
+  driver::BatchItem cheap;
+  cheap.program = &cheapProg;
+  cheap.config.params = cheapParams;
+  cheap.config.processors = 4;
+  std::vector<driver::BatchItem> batch = {hog, cheap, cheap, cheap};
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    batch[i].label = "cheap" + std::to_string(i);
+  }
+
+  // The pot: each of the 4 items' equal share covers a tomcatv run with
+  // margin but is nowhere near tfft2's appetite.
+  support::BudgetLimits pot;
+  pot.proverSteps = 4 * (cheapSteps + 8);
+  support::Budget ambient(pot);
+  support::BudgetScope scope(&ambient);
+  support::DegradationReport ledger;
+  support::DegradationScope ledgerScope(&ledger);
+
+  const auto results = driver::analyzeBatch(batch, /*jobs=*/1);
+  ASSERT_EQ(results.size(), 4u);
+  ASSERT_TRUE(results[0].has_value()) << results[0].status().str();
+  EXPECT_TRUE(results[0]->degraded())
+      << "the hog must exhaust its own share and degrade";
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].has_value()) << results[i].status().str();
+    EXPECT_FALSE(results[i]->degraded())
+        << "item " << i << " was starved by the hog's appetite";
+    EXPECT_EQ(driver::serializeGolden(*results[i], cheapProg), cleanCheapGolden)
+        << "a budget-isolated sibling must stay byte-identical to its "
+           "unbudgeted run";
+  }
 }
 
 TEST_F(FaultedPipeline, BuildLCGCheckedSurvivesPoolTaskFaults) {
